@@ -1,0 +1,39 @@
+// Command leapagent runs a standalone remote-memory agent: it donates
+// memory as fixed-size slabs and serves page reads/writes over TCP using
+// the binary wire protocol in internal/remote. Hosts (see the remoteswap
+// example) map slabs onto one or more agents with replication.
+//
+// Usage:
+//
+//	leapagent -listen :7070 -slab-pages 4096 -max-slabs 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"leap/internal/remote"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	slabPages := flag.Int("slab-pages", remote.DefaultSlabPages, "pages per slab (4KB each)")
+	maxSlabs := flag.Int("max-slabs", 0, "maximum slabs to donate (0 = unlimited)")
+	flag.Parse()
+
+	agent := remote.NewAgent(*slabPages, *maxSlabs)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("leapagent: listen %s: %v", *listen, err)
+	}
+	donation := "unlimited"
+	if *maxSlabs > 0 {
+		donation = fmt.Sprintf("%d slabs (%d MB)",
+			*maxSlabs, *maxSlabs**slabPages*remote.PageSize/(1<<20))
+	}
+	log.Printf("leapagent: serving on %s, slab=%d pages, donation=%s",
+		l.Addr(), *slabPages, donation)
+	log.Fatal(agent.Serve(l))
+}

@@ -1,0 +1,83 @@
+// Command leapbench regenerates every table and figure of the paper's
+// evaluation on the simulation substrates. Each figure prints the same
+// rows/series the paper reports, next to the paper's headline values.
+//
+// Usage:
+//
+//	leapbench                  # run everything at full scale
+//	leapbench -fig 7           # one figure
+//	leapbench -fig ablations   # the DESIGN.md ablation sweeps
+//	leapbench -scale small     # quick pass (test-sized runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leap/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to run: 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,ablations,all")
+	scaleName := flag.String("scale", "full", "run scale: full or small")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiments.Full
+	case "small":
+		scale = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "leapbench: unknown scale %q (want full or small)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	runners := []struct {
+		name string
+		run  func()
+	}{
+		{"1", func() { fmt.Println(experiments.Fig1(scale, *seed)) }},
+		{"2", func() { fmt.Println(experiments.Fig2(scale, *seed)) }},
+		{"3", func() { fmt.Println(experiments.Fig3(scale, *seed)) }},
+		{"4", func() { fmt.Println(experiments.Fig4(scale, *seed)) }},
+		{"table1", func() { fmt.Println(experiments.RenderTable1()) }},
+		{"7", func() { fmt.Println(experiments.Fig7(scale, *seed)) }},
+		{"8a", func() { fmt.Println(experiments.Fig8a(scale, *seed)) }},
+		{"8b", func() { fmt.Println(experiments.Fig8b(scale, *seed)) }},
+		{"9", func() { fmt.Println(experiments.Fig9(scale, *seed)) }},
+		{"10", func() { fmt.Println(experiments.Fig10(scale, *seed)) }},
+		{"11", func() { fmt.Println(experiments.Fig11(scale, *seed)) }},
+		{"12", func() { fmt.Println(experiments.Fig12(scale, *seed)) }},
+		{"13", func() { fmt.Println(experiments.Fig13(scale, *seed)) }},
+		{"ablations", func() {
+			fmt.Println(experiments.AblationMajorityVsStrict(scale, *seed))
+			fmt.Println(experiments.AblationWindowDoubling(scale, *seed))
+			fmt.Println(experiments.AblationEviction(scale, *seed))
+			fmt.Println(experiments.AblationIsolation(scale, *seed))
+			fmt.Println(experiments.AblationHistorySize(scale, *seed))
+			fmt.Println(experiments.AblationMaxWindow(scale, *seed))
+			fmt.Println(experiments.AblationThrottling(scale, *seed))
+		}},
+	}
+
+	want := strings.ToLower(*fig)
+	matched := false
+	for _, r := range runners {
+		if want != "all" && want != r.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		r.run()
+		fmt.Printf("[%s done in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "leapbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

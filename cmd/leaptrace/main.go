@@ -1,0 +1,187 @@
+// Command leaptrace captures, inspects, and replays page-access traces in
+// the binary format of internal/trace.
+//
+// Usage:
+//
+//	leaptrace gen -workload powergraph -n 100000 -out pg.trace
+//	leaptrace info -in pg.trace
+//	leaptrace replay -in pg.trace -system d-vmm+leap -mem 0.5
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"leap"
+	"leap/internal/analysis"
+	"leap/internal/core"
+	"leap/internal/trace"
+	"leap/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "replay":
+		err = runReplay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leaptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: leaptrace <gen|info|replay> [flags]")
+	os.Exit(2)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("workload", "powergraph", "workload to capture")
+	n := fs.Int64("n", 100000, "accesses to capture")
+	out := fs.String("out", "out.trace", "output file")
+	gz := fs.Bool("gzip", false, "gzip-compress the trace")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *gz {
+		cw := trace.NewCompressedWriter(f)
+		gen := workload.NewApp(prof, *seed)
+		for i := int64(0); i < *n; i++ {
+			a := gen.Next()
+			if err := cw.Write(trace.Record{PID: 1, Page: a.Page, Think: a.Think}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Close(); err != nil {
+			return err
+		}
+	} else if err := trace.Capture(f, workload.NewApp(prof, *seed), 1, *n); err != nil {
+		return err
+	}
+	fmt.Printf("captured %d accesses of %s to %s\n", *n, *name, *out)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("info: -in required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.ReadAllAuto(f)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	pages := make([]core.PageID, len(records))
+	var maxPage core.PageID
+	pids := map[int]bool{}
+	for i, r := range records {
+		pages[i] = r.Page
+		if r.Page > maxPage {
+			maxPage = r.Page
+		}
+		pids[int(r.PID)] = true
+	}
+	fmt.Printf("records:   %d\n", len(records))
+	fmt.Printf("processes: %d\n", len(pids))
+	fmt.Printf("max page:  %d (%.1f MB working set)\n",
+		maxPage, float64(maxPage+1)*4096/(1<<20))
+	fmt.Printf("pattern mix (strict W2):   %s\n", analysis.ClassifyStrict(pages, 2))
+	fmt.Printf("pattern mix (strict W8):   %s\n", analysis.ClassifyStrict(pages, 8))
+	fmt.Printf("pattern mix (majority W8): %s\n", analysis.ClassifyMajority(pages, 8))
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	system := fs.String("system", "d-vmm+leap", "system: disk|ssd|d-vmm|d-vmm+leap")
+	memFrac := fs.Float64("mem", 0.5, "memory fraction of the trace's working set")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("replay: -in required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.ReadAllAuto(f)
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewReplay(*in, records, 1)
+	if err != nil {
+		return err
+	}
+
+	cfg := leap.SimConfig{
+		WarmupAccesses:   int64(len(records)) / 10,
+		MeasuredAccesses: int64(len(records)),
+		Seed:             *seed,
+	}
+	switch *system {
+	case "disk":
+		cfg.System = leap.SystemDisk
+	case "ssd":
+		cfg.System = leap.SystemSSD
+	case "d-vmm":
+		cfg.System = leap.SystemDVMM
+	case "d-vmm+leap":
+		cfg.System = leap.SystemDVMMLeap
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	limit := int64(float64(gen.Pages()) * *memFrac)
+	if limit < 1 {
+		limit = 1
+	}
+	res, err := leap.Simulate(cfg, []leap.Workload{{
+		PID: 1, Generator: gen, MemoryLimitPages: limit, PreloadPages: -1,
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d accesses on %s @%.0f%% memory\n", len(records), *system, *memFrac*100)
+	fmt.Printf("completion %v, faults %d, p50 %v, p99 %v, coverage %.1f%%\n",
+		res.Makespan, res.Faults, res.Latency.P50, res.Latency.P99, res.Coverage*100)
+	return nil
+}

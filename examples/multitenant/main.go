@@ -1,0 +1,60 @@
+// Multitenant: all four of the paper's applications run concurrently on one
+// host, each at a 50% memory limit, sharing the remote fabric — the
+// Figure 13 scenario. Leap's per-process page-access tracking keeps each
+// application's pattern detection clean despite the interleaved fault
+// stream; the stock read-ahead shares one global window across all four.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leap"
+)
+
+var apps = []string{"powergraph", "numpy", "voltdb", "memcached"}
+
+func run(system leap.System) []leap.SimResult {
+	var workloads []leap.Workload
+	for i, name := range apps {
+		gen, ok := leap.NewAppWorkload(name, uint64(100+i))
+		if !ok {
+			log.Fatalf("workload %s missing", name)
+		}
+		workloads = append(workloads, leap.Workload{
+			PID:              leap.PID(i + 1),
+			Generator:        gen,
+			MemoryLimitPages: gen.Pages() / 2,
+			PreloadPages:     -1,
+		})
+	}
+	res, err := leap.Simulate(leap.SimConfig{
+		System:           system,
+		WarmupAccesses:   10000,
+		MeasuredAccesses: 60000,
+		Seed:             99,
+	}, workloads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return []leap.SimResult{res}
+}
+
+func main() {
+	fmt.Println("four applications concurrently @50% memory each (Figure 13):")
+	fmt.Println()
+	stock := run(leap.SystemDVMM)[0]
+	withLeap := run(leap.SystemDVMMLeap)[0]
+
+	fmt.Printf("%-12s %16s %16s %8s\n", "app", "d-vmm", "d-vmm+leap", "gain")
+	for i, name := range apps {
+		s := stock.PerProc[i]
+		l := withLeap.PerProc[i]
+		fmt.Printf("%-12s %16v %16v %7.2f×\n",
+			name, s.Time, l.Time, float64(s.Time)/float64(l.Time))
+	}
+	fmt.Println()
+	fmt.Printf("aggregate coverage: %.1f%% (leap) vs %.1f%% (stock global window)\n",
+		withLeap.Coverage*100, stock.Coverage*100)
+	fmt.Println("(paper: 1.1–2.4× per-app improvement from isolation + lean path)")
+}

@@ -1,0 +1,63 @@
+// Quickstart: drive the Leap predictor directly — feed it page faults and
+// read back prefetch candidates, watching the majority-vote trend detector
+// adapt through a pattern change and ignore one-off irregularities.
+package main
+
+import (
+	"fmt"
+
+	"leap"
+)
+
+func main() {
+	p := leap.NewPredictor(leap.PredictorConfig{
+		HistorySize:       32, // the paper's Hsize
+		NSplit:            2,  // smallest detection window = 16
+		MaxPrefetchWindow: 8,  // PWsizemax
+	})
+
+	fmt.Println("=== sequential phase ===")
+	var page leap.PageID
+	for i := 0; i < 20; i++ {
+		page = leap.PageID(1000 + i)
+		p.Record(page)
+	}
+	fmt.Printf("after 20 sequential faults, Predict(%d) -> %v\n",
+		page+1, p.Predict(page+1))
+
+	// Report consumed prefetches: the window grows toward PWsizemax.
+	for i := 0; i < 8; i++ {
+		p.NoteHit()
+	}
+	p.Record(page + 2)
+	fmt.Printf("after 8 prefetch hits, window grows:      %v\n", p.Predict(page+2))
+
+	fmt.Println("\n=== stride-10 phase (trend change) ===")
+	for i := 0; i < 20; i++ {
+		page = leap.PageID(5000 + i*10)
+		p.Record(page)
+	}
+	p.NoteHit()
+	fmt.Printf("stride detected, candidates follow it:    %v\n", p.Predict(page+10))
+
+	fmt.Println("\n=== short-term irregularity (ignored by majority vote) ===")
+	p.Record(99999) // a one-off wild fault
+	p.Record(page + 20)
+	p.NoteHit()
+	fmt.Printf("after one wild fault, trend survives:     %v\n", p.Predict(page+30))
+
+	fmt.Println("\n=== random phase (prefetching suspends) ===")
+	seed := uint64(1)
+	var cands []leap.PageID
+	for i := 0; i < 40; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		// OnFault records and predicts; with no hits and no trend the
+		// window shrinks smoothly (8→4→2→1) and then suspends.
+		cands = p.OnFault(leap.PageID(seed%(1<<30)), nil)
+	}
+	fmt.Printf("on a random stream, candidates:           %v (suspended)\n", cands)
+
+	st := p.Stats()
+	fmt.Printf("\nstats: faults=%d trends=%d speculative=%d suspended=%d predicted=%d\n",
+		st.Faults, st.TrendHits, st.Speculative, st.Suspended, st.PagesPredicted)
+}

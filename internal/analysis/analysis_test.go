@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"leap/internal/core"
+)
+
+func seqPages(start, n int) []core.PageID {
+	out := make([]core.PageID, n)
+	for i := range out {
+		out[i] = core.PageID(start + i)
+	}
+	return out
+}
+
+func TestStrictPureSequential(t *testing.T) {
+	faults := seqPages(100, 50)
+	for _, w := range []int{2, 4, 8} {
+		m := ClassifyStrict(faults, w)
+		if m.Sequential != 1 {
+			t.Fatalf("W%d: %+v, want all sequential", w, m)
+		}
+	}
+}
+
+func TestStrictPureStride(t *testing.T) {
+	faults := make([]core.PageID, 50)
+	for i := range faults {
+		faults[i] = core.PageID(i * 10)
+	}
+	m := ClassifyStrict(faults, 8)
+	if m.Stride != 1 {
+		t.Fatalf("stride-10: %+v, want all stride", m)
+	}
+}
+
+func TestStrictWindowDecay(t *testing.T) {
+	// Sequential runs of 4 separated by jumps: W2 sees mostly sequential,
+	// W8 sees none.
+	var faults []core.PageID
+	for r := 0; r < 50; r++ {
+		faults = append(faults, seqPages(r*1000, 4)...)
+	}
+	w2 := ClassifyStrict(faults, 2)
+	w8 := ClassifyStrict(faults, 8)
+	if w2.Sequential < 0.7 {
+		t.Fatalf("W2 sequential = %.3f, want >= 0.7", w2.Sequential)
+	}
+	if w8.Sequential != 0 {
+		t.Fatalf("W8 sequential = %.3f, want 0 (no run spans 8)", w8.Sequential)
+	}
+}
+
+func TestMajorityToleratesInterruption(t *testing.T) {
+	// A long sequential run with every 8th access replaced by a random
+	// jump: strict W8 classifies nearly everything as other; majority
+	// recovers most windows. (A jump inside the window produces two
+	// non-unit deltas — the jump out and the return — so up to 2 of 7
+	// deltas deviate, leaving 5 ≥ ⌊7/2⌋+1 = 4.)
+	faults := seqPages(0, 200)
+	for i := 7; i < len(faults); i += 8 {
+		faults[i] = core.PageID(100000 + i)
+	}
+	strict := ClassifyStrict(faults, 8)
+	maj := ClassifyMajority(faults, 8)
+	if strict.Sequential > 0.05 {
+		t.Fatalf("strict seq = %.3f, want ~0", strict.Sequential)
+	}
+	if maj.Sequential < 0.6 {
+		t.Fatalf("majority seq = %.3f, want >= 0.6", maj.Sequential)
+	}
+}
+
+func TestMajorityStrideDetection(t *testing.T) {
+	faults := make([]core.PageID, 100)
+	for i := range faults {
+		faults[i] = core.PageID(i * 7)
+	}
+	// Sprinkle irregularities.
+	faults[10] = 3
+	faults[40] = 9999
+	m := ClassifyMajority(faults, 8)
+	if m.Stride < 0.8 {
+		t.Fatalf("majority stride = %.3f, want >= 0.8", m.Stride)
+	}
+}
+
+func TestRandomIsOther(t *testing.T) {
+	// LCG-scattered addresses: no pattern.
+	faults := make([]core.PageID, 500)
+	seed := uint64(7)
+	for i := range faults {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		faults[i] = core.PageID(seed % (1 << 30))
+	}
+	// At window 2 a single delta always "matches itself": the paper notes
+	// that "all non-sequential patterns with X = 2 fall under the stride
+	// category" (§2.3) — exactly what the classifier must reproduce.
+	w2 := ClassifyStrict(faults, 2)
+	if w2.Stride < 0.95 {
+		t.Fatalf("strict W2 stride = %.3f, want ~1 (degenerate window)", w2.Stride)
+	}
+	for _, w := range []int{4, 8} {
+		strict := ClassifyStrict(faults, w)
+		if strict.Other < 0.95 {
+			t.Fatalf("strict W%d other = %.3f, want ~1", w, strict.Other)
+		}
+	}
+	maj := ClassifyMajority(faults, 8)
+	if maj.Other < 0.95 {
+		t.Fatalf("majority other = %.3f, want ~1", maj.Other)
+	}
+}
+
+func TestMixSumsToOne(t *testing.T) {
+	faults := seqPages(0, 100)
+	faults[50] = 9
+	for _, w := range []int{2, 4, 8} {
+		for _, m := range []Mix{ClassifyStrict(faults, w), ClassifyMajority(faults, w)} {
+			if s := m.Sequential + m.Stride + m.Other; math.Abs(s-1) > 1e-9 {
+				t.Fatalf("W%d mix sums to %v", w, s)
+			}
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if m := ClassifyStrict(nil, 8); m != (Mix{}) {
+		t.Fatal("nil faults must classify to zero mix")
+	}
+	if m := ClassifyStrict(seqPages(0, 3), 8); m != (Mix{}) {
+		t.Fatal("too-short trace must classify to zero mix")
+	}
+	if m := ClassifyStrict(seqPages(0, 10), 1); m != (Mix{}) {
+		t.Fatal("window < 2 must classify to zero mix")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	m := Mix{Sequential: 0.5, Stride: 0.25, Other: 0.25}
+	if got := m.String(); got != "seq=50.0% stride=25.0% other=25.0%" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMajorityAtLeastStrictProperty(t *testing.T) {
+	// Majority classification never finds fewer patterned windows than
+	// strict: strict-sequential windows are majority-sequential too.
+	seed := uint64(3)
+	for trial := 0; trial < 20; trial++ {
+		faults := make([]core.PageID, 300)
+		pos := core.PageID(0)
+		for i := range faults {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			switch seed % 3 {
+			case 0:
+				pos++
+			case 1:
+				pos += 7
+			default:
+				pos = core.PageID(seed % 10000)
+			}
+			faults[i] = pos
+		}
+		strict := ClassifyStrict(faults, 8)
+		maj := ClassifyMajority(faults, 8)
+		if maj.Other > strict.Other+1e-9 {
+			t.Fatalf("majority found fewer patterns than strict: %+v vs %+v", maj, strict)
+		}
+	}
+}

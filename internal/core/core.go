@@ -1,0 +1,30 @@
+// Package core implements the Leap prefetching algorithm from
+// "Effectively Prefetching Remote Memory with Leap" (Maruf & Chowdhury,
+// USENIX ATC 2020): an online, majority-trend-based predictor of future
+// remote page accesses.
+//
+// The algorithm has two halves, mirroring §3.2 of the paper:
+//
+//   - Trend detection (Algorithm 1): page-fault addresses are recorded as
+//     deltas between consecutive faults in a small per-process ring buffer
+//     (AccessHistory). FindTrend runs the Boyer–Moore majority vote over a
+//     window of recent deltas, starting with a small window (Hsize/NSplit)
+//     and doubling until a majority delta emerges or the whole history is
+//     searched. Majority — at least ⌊w/2⌋+1 occurrences in a window of w —
+//     rather than strict repetition makes the detector robust to short-term
+//     irregularities such as interleaved threads.
+//
+//   - Candidate generation (Algorithm 2): the prefetch window size adapts to
+//     measured utility. Hits on previously prefetched pages since the last
+//     prefetch grow the window (rounded up to a power of two, capped at
+//     MaxPrefetchWindow); zero hits shrink it smoothly (halving, not
+//     suspending immediately); prefetching suspends entirely only when the
+//     window has decayed and the faulting page does not follow the current
+//     trend. With a detected trend the candidates are Pt + k·Δmaj; without
+//     one, a window-worth of pages around Pt following the latest known
+//     trend is speculatively fetched.
+//
+// Predictor is single-goroutine by design — the enclosing data path owns
+// locking — and allocation-free on the fault path except for the returned
+// candidate slice, which can be reused via PredictInto.
+package core

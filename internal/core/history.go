@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PageID identifies a 4KB page in the remote (swap) address space. Deltas
+// between consecutively faulted PageIDs are what the predictor learns from.
+type PageID int64
+
+// AccessHistory is the fixed-size FIFO ring of deltas between consecutive
+// page accesses described in §4.1 of the paper. Storing deltas instead of
+// absolute addresses both shrinks the state and makes trends (sequential,
+// stride) appear as repeated values, which is what the majority vote detects.
+//
+// Index 0 is the most recent delta (the paper's Hhead); index Len()-1 is the
+// oldest retained one.
+type AccessHistory struct {
+	deltas []int64
+	head   int // position of the most recent delta
+	n      int // number of valid entries, <= len(deltas)
+}
+
+// NewAccessHistory returns a history retaining size deltas. Size must be at
+// least 2; the paper's default (and the package default) is 32.
+func NewAccessHistory(size int) *AccessHistory {
+	if size < 2 {
+		panic(fmt.Sprintf("core: AccessHistory size %d, need >= 2", size))
+	}
+	return &AccessHistory{deltas: make([]int64, size)}
+}
+
+// Cap reports the configured Hsize.
+func (h *AccessHistory) Cap() int { return len(h.deltas) }
+
+// Len reports how many deltas are currently recorded (saturates at Cap).
+func (h *AccessHistory) Len() int { return h.n }
+
+// Push records the newest delta, evicting the oldest when full.
+func (h *AccessHistory) Push(delta int64) {
+	if h.n == 0 {
+		h.head = 0
+		h.deltas[0] = delta
+		h.n = 1
+		return
+	}
+	h.head = (h.head + 1) % len(h.deltas)
+	h.deltas[h.head] = delta
+	if h.n < len(h.deltas) {
+		h.n++
+	}
+}
+
+// At reports the i-th most recent delta; At(0) is the newest. It panics if
+// i >= Len().
+func (h *AccessHistory) At(i int) int64 {
+	if i < 0 || i >= h.n {
+		panic(fmt.Sprintf("core: AccessHistory.At(%d) with %d entries", i, h.n))
+	}
+	idx := h.head - i
+	if idx < 0 {
+		idx += len(h.deltas)
+	}
+	return h.deltas[idx]
+}
+
+// Reset forgets all recorded deltas.
+func (h *AccessHistory) Reset() { h.n = 0; h.head = 0 }
+
+// Snapshot appends the deltas newest-first to dst and returns it, for
+// debugging and tests.
+func (h *AccessHistory) Snapshot(dst []int64) []int64 {
+	for i := 0; i < h.n; i++ {
+		dst = append(dst, h.At(i))
+	}
+	return dst
+}
+
+// String renders the history newest-first, e.g. "[+2 +2 -3]".
+func (h *AccessHistory) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < h.n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%+d", h.At(i))
+	}
+	b.WriteByte(']')
+	return b.String()
+}

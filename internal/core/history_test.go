@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessHistoryPushAt(t *testing.T) {
+	h := NewAccessHistory(4)
+	if h.Len() != 0 || h.Cap() != 4 {
+		t.Fatalf("fresh history Len=%d Cap=%d", h.Len(), h.Cap())
+	}
+	h.Push(1)
+	h.Push(2)
+	h.Push(3)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	// At(0) is newest.
+	want := []int64{3, 2, 1}
+	for i, w := range want {
+		if got := h.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAccessHistoryWraps(t *testing.T) {
+	h := NewAccessHistory(3)
+	for d := int64(1); d <= 5; d++ {
+		h.Push(d)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	want := []int64{5, 4, 3} // newest-first, oldest two evicted
+	for i, w := range want {
+		if got := h.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAccessHistoryAtPanics(t *testing.T) {
+	h := NewAccessHistory(2)
+	h.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	h.At(1)
+}
+
+func TestAccessHistorySizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAccessHistory(1) did not panic")
+		}
+	}()
+	NewAccessHistory(1)
+}
+
+func TestAccessHistoryReset(t *testing.T) {
+	h := NewAccessHistory(4)
+	h.Push(1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset did not clear history")
+	}
+	h.Push(9)
+	if h.At(0) != 9 {
+		t.Fatal("history unusable after Reset")
+	}
+}
+
+func TestAccessHistorySnapshotString(t *testing.T) {
+	h := NewAccessHistory(4)
+	h.Push(-3)
+	h.Push(2)
+	got := h.Snapshot(nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != -3 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+	if s := h.String(); s != "[+2 -3]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAccessHistoryFIFOProperty(t *testing.T) {
+	// Property: after pushing any sequence, At(i) equals the i-th most
+	// recent pushed value (for i < min(len, cap)).
+	f := func(vals []int64) bool {
+		h := NewAccessHistory(8)
+		for _, v := range vals {
+			h.Push(v)
+		}
+		n := len(vals)
+		if n > 8 {
+			n = 8
+		}
+		if h.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if h.At(i) != vals[len(vals)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+// MajorityVote runs the Boyer–Moore majority vote algorithm [Boyer & Moore
+// 1991] over xs and reports the verified majority element: a value occurring
+// at least ⌊len(xs)/2⌋+1 times. The second return is false when no such
+// element exists.
+//
+// The algorithm is the paper's core primitive: linear time, constant space.
+// The first pass elects a candidate by pairing off distinct values; the
+// second pass verifies the candidate actually holds a majority (the election
+// alone can nominate a non-majority value).
+func MajorityVote(xs []int64) (int64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	candidate, count := xs[0], 1
+	for _, x := range xs[1:] {
+		switch {
+		case count == 0:
+			candidate, count = x, 1
+		case x == candidate:
+			count++
+		default:
+			count--
+		}
+	}
+	occurrences := 0
+	for _, x := range xs {
+		if x == candidate {
+			occurrences++
+		}
+	}
+	if occurrences >= len(xs)/2+1 {
+		return candidate, true
+	}
+	return 0, false
+}
+
+// majorityInWindow elects and verifies a majority over the w most recent
+// history entries without materializing a slice. It mirrors MajorityVote but
+// walks the ring directly so the fault path stays allocation-free.
+func majorityInWindow(h *AccessHistory, w int) (int64, bool) {
+	if w > h.Len() {
+		w = h.Len()
+	}
+	if w == 0 {
+		return 0, false
+	}
+	candidate, count := h.At(0), 1
+	for i := 1; i < w; i++ {
+		x := h.At(i)
+		switch {
+		case count == 0:
+			candidate, count = x, 1
+		case x == candidate:
+			count++
+		default:
+			count--
+		}
+	}
+	occurrences := 0
+	for i := 0; i < w; i++ {
+		if h.At(i) == candidate {
+			occurrences++
+		}
+	}
+	if occurrences >= w/2+1 {
+		return candidate, true
+	}
+	return 0, false
+}

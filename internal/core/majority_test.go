@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func naiveMajority(xs []int64) (int64, bool) {
+	counts := make(map[int64]int)
+	for _, x := range xs {
+		counts[x]++
+	}
+	for v, c := range counts {
+		if c >= len(xs)/2+1 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestMajorityVoteBasics(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+		ok   bool
+	}{
+		{nil, 0, false},
+		{[]int64{5}, 5, true},
+		{[]int64{1, 1}, 1, true},
+		{[]int64{1, 2}, 0, false},
+		{[]int64{-3, -3, -3, 72}, -3, true},
+		{[]int64{2, 2, -58, -3}, 0, false},
+		{[]int64{1, 2, 3, 2, 2}, 2, true},
+		{[]int64{1, 2, 3, 4, 5, 6, 7, 7}, 0, false},
+		{[]int64{7, 7, 7, 7, 1, 2, 3, 4}, 0, false}, // exactly half is not majority
+		{[]int64{7, 7, 7, 7, 7, 1, 2, 3}, 7, true},
+	}
+	for _, c := range cases {
+		got, ok := MajorityVote(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("MajorityVote(%v) = (%d,%v), want (%d,%v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMajorityVoteMatchesNaive(t *testing.T) {
+	// Property: Boyer–Moore + verification agrees with exhaustive counting.
+	f := func(raw []uint8) bool {
+		// Small alphabet to make majorities common.
+		xs := make([]int64, len(raw))
+		for i, r := range raw {
+			xs[i] = int64(r % 4)
+		}
+		gotV, gotOK := MajorityVote(xs)
+		wantV, wantOK := naiveMajority(xs)
+		if gotOK != wantOK {
+			return false
+		}
+		return !gotOK || gotV == wantV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityInWindowMatchesSlice(t *testing.T) {
+	// Property: the ring-walking variant agrees with MajorityVote on the
+	// materialized window.
+	f := func(raw []uint8, wRaw uint8) bool {
+		h := NewAccessHistory(16)
+		for _, r := range raw {
+			h.Push(int64(r % 3))
+		}
+		w := int(wRaw%16) + 1
+		gotV, gotOK := majorityInWindow(h, w)
+		if w > h.Len() {
+			w = h.Len()
+		}
+		window := make([]int64, 0, w)
+		for i := 0; i < w; i++ {
+			window = append(window, h.At(i))
+		}
+		wantV, wantOK := MajorityVote(window)
+		if gotOK != wantOK {
+			return false
+		}
+		return !gotOK || gotV == wantV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityInWindowEmpty(t *testing.T) {
+	h := NewAccessHistory(4)
+	if _, ok := majorityInWindow(h, 4); ok {
+		t.Fatal("empty window reported a majority")
+	}
+}

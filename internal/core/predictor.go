@@ -1,0 +1,282 @@
+package core
+
+import "fmt"
+
+// Config parameterizes a Predictor. The zero value is usable: each field
+// falls back to the paper's default (§5: Hsize=32, PWsizemax=8, Nsplit=2).
+type Config struct {
+	// HistorySize is Hsize, the number of deltas retained per process.
+	HistorySize int
+	// NSplit controls the smallest trend-detection window, Hsize/NSplit.
+	NSplit int
+	// MaxPrefetchWindow is PWsizemax, the cap on pages prefetched per fault.
+	MaxPrefetchWindow int
+	// StrictDetection replaces the majority vote with strict matching: a
+	// trend is detected only when every delta in the window agrees. This
+	// exists solely for the majority-vs-strict ablation — it is the rigid
+	// behaviour the paper's §2.3 argues against.
+	StrictDetection bool
+}
+
+// Defaults used when a Config field is zero, matching the paper's evaluation
+// setup.
+const (
+	DefaultHistorySize       = 32
+	DefaultNSplit            = 2
+	DefaultMaxPrefetchWindow = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.HistorySize == 0 {
+		c.HistorySize = DefaultHistorySize
+	}
+	if c.NSplit == 0 {
+		c.NSplit = DefaultNSplit
+	}
+	if c.MaxPrefetchWindow == 0 {
+		c.MaxPrefetchWindow = DefaultMaxPrefetchWindow
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.HistorySize < 2 {
+		return fmt.Errorf("core: HistorySize %d, need >= 2", c.HistorySize)
+	}
+	if c.NSplit < 1 || c.NSplit > c.HistorySize {
+		return fmt.Errorf("core: NSplit %d, need 1..HistorySize", c.NSplit)
+	}
+	if c.MaxPrefetchWindow < 1 {
+		return fmt.Errorf("core: MaxPrefetchWindow %d, need >= 1", c.MaxPrefetchWindow)
+	}
+	return nil
+}
+
+// Stats counts predictor activity. All fields are cumulative.
+type Stats struct {
+	// Faults is the number of recorded page accesses.
+	Faults int64
+	// TrendHits counts faults where FindTrend detected a majority delta.
+	TrendHits int64
+	// Speculative counts prefetch decisions taken without a current majority
+	// (Algorithm 2 line 25: window issued around Pt with the latest trend).
+	Speculative int64
+	// Suspended counts faults where prefetching was fully suspended
+	// (PWsize = 0).
+	Suspended int64
+	// PagesPredicted is the total number of candidate pages produced.
+	PagesPredicted int64
+	// WindowGrowths and WindowShrinks track PWsize transitions.
+	WindowGrowths int64
+	WindowShrinks int64
+}
+
+// Predictor is the per-process Leap prefetch engine: an AccessHistory plus
+// the adaptive prefetch-window state of Algorithm 2. It is not safe for
+// concurrent use; the owning data path serializes calls.
+type Predictor struct {
+	cfg  Config
+	hist *AccessHistory
+
+	lastAddr PageID
+	hasLast  bool
+
+	// trend is the latest majority delta detected by FindTrend ("current
+	// trend" in the paper); it persists across faults where no majority
+	// exists so the speculative branch can keep using it.
+	trend    int64
+	hasTrend bool
+
+	// prevWindow is PWsize(t-1); hits is Chit, prefetched-cache hits observed
+	// since the last prefetch decision.
+	prevWindow int
+	hits       int
+
+	stats Stats
+}
+
+// NewPredictor returns a Predictor for one process. Zero Config fields take
+// the paper's defaults; invalid explicit values panic, as misconfiguration
+// is a programming error.
+func NewPredictor(cfg Config) *Predictor {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Predictor{cfg: cfg, hist: NewAccessHistory(cfg.HistorySize)}
+}
+
+// Config reports the effective (defaulted) configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Stats reports a copy of the cumulative statistics.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// History exposes the underlying access history for inspection (tests,
+// debugging, the Fig. 3 classifier).
+func (p *Predictor) History() *AccessHistory { return p.hist }
+
+// NoteHit informs the predictor that one of its previously predicted pages
+// was consumed from the cache. This is Chit in Algorithm 2: the feedback
+// signal that grows the prefetch window.
+func (p *Predictor) NoteHit() { p.hits++ }
+
+// Record logs a page access (the paper's log_access_history hook in
+// do_swap_page): it appends the delta from the previous access to the
+// history. The first access establishes the base address only.
+func (p *Predictor) Record(addr PageID) {
+	p.stats.Faults++
+	if p.hasLast {
+		p.hist.Push(int64(addr) - int64(p.lastAddr))
+	}
+	p.lastAddr = addr
+	p.hasLast = true
+}
+
+// Predict implements DoPrefetch (Algorithm 2) for a fault on page addr,
+// returning the pages to prefetch (possibly none). Record(addr) must have
+// been called first; OnFault does both.
+func (p *Predictor) Predict(addr PageID) []PageID {
+	return p.PredictInto(addr, nil)
+}
+
+// OnFault is the common fault-path entry: Record followed by PredictInto.
+func (p *Predictor) OnFault(addr PageID, dst []PageID) []PageID {
+	p.Record(addr)
+	return p.PredictInto(addr, dst)
+}
+
+// PredictInto is Predict with a caller-supplied backing slice, which it
+// appends to and returns (same contract as append).
+func (p *Predictor) PredictInto(addr PageID, dst []PageID) []PageID {
+	// Refresh the current trend. FindTrend is O(Hsize) with Hsize=32 by
+	// default — the paper's measured overhead argument (§3.3) is exactly
+	// that this is cheap enough to run on every fault.
+	var delta int64
+	var found bool
+	if p.cfg.StrictDetection {
+		delta, found = FindTrendStrict(p.hist, p.cfg.NSplit)
+	} else {
+		delta, found = FindTrend(p.hist, p.cfg.NSplit)
+	}
+	if found {
+		p.trend = delta
+		p.hasTrend = true
+		p.stats.TrendHits++
+	}
+
+	window := p.windowSize(found)
+	if window == 0 {
+		p.stats.Suspended++
+		return dst
+	}
+
+	useDelta := p.trend // current trend if found, else latest known (line 25)
+	speculative := !found
+	if found && delta == 0 {
+		// A zero majority delta carries no direction (same page re-faulting);
+		// treat it as trendless and fall back to the speculative branch.
+		speculative = true
+	}
+	if speculative {
+		p.stats.Speculative++
+	}
+
+	before := len(dst)
+	if speculative && !p.hasTrend {
+		// No trend has ever been seen: bring the window's worth of pages
+		// around Pt (alternating +1, -1, +2, ...), the closest neighbors.
+		for k := 1; len(dst)-before < window; k++ {
+			if c := addr + PageID(k); c >= 0 {
+				dst = append(dst, c)
+			}
+			if len(dst)-before >= window {
+				break
+			}
+			if c := addr - PageID(k); c >= 0 {
+				dst = append(dst, c)
+			}
+			if k > window {
+				break
+			}
+		}
+	} else {
+		d := useDelta
+		if speculative && d == 0 {
+			d = 1
+		}
+		for k := 1; k <= window; k++ {
+			c := addr + PageID(int64(k)*d)
+			if c < 0 {
+				break
+			}
+			dst = append(dst, c)
+		}
+	}
+	p.stats.PagesPredicted += int64(len(dst) - before)
+	return dst
+}
+
+// windowSize implements GetPrefetchWindowSize (Algorithm 2 lines 1–17).
+func (p *Predictor) windowSize(trendFound bool) int {
+	var w int
+	if p.hits == 0 {
+		// No prefetched page was consumed since the last decision.
+		if trendFound && p.followsTrend() {
+			w = 1 // keep a minimal window along the trend
+		} else {
+			w = 0 // suspend
+		}
+	} else {
+		w = ceilPow2(p.hits + 1)
+		if w > p.cfg.MaxPrefetchWindow {
+			w = p.cfg.MaxPrefetchWindow
+		}
+	}
+	// Smooth shrink: never drop below half the previous window at once, so a
+	// transient miss burst cannot instantly kill an established pattern.
+	if w < p.prevWindow/2 {
+		w = p.prevWindow / 2
+	}
+	switch {
+	case w > p.prevWindow:
+		p.stats.WindowGrowths++
+	case w < p.prevWindow:
+		p.stats.WindowShrinks++
+	}
+	p.hits = 0
+	p.prevWindow = w
+	return w
+}
+
+// followsTrend reports whether the most recent recorded delta equals the
+// current trend ("Pt follows the current trend", Algorithm 2 line 6).
+func (p *Predictor) followsTrend() bool {
+	if !p.hasTrend || p.hist.Len() == 0 {
+		return false
+	}
+	return p.hist.At(0) == p.trend
+}
+
+// Reset clears all learned state, as on process exit/exec.
+func (p *Predictor) Reset() {
+	p.hist.Reset()
+	p.hasLast = false
+	p.hasTrend = false
+	p.trend = 0
+	p.prevWindow = 0
+	p.hits = 0
+	p.stats = Stats{}
+}
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	p := NewPredictor(Config{})
+	cfg := p.Config()
+	if cfg.HistorySize != 32 || cfg.NSplit != 2 || cfg.MaxPrefetchWindow != 8 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{HistorySize: -1},
+		{HistorySize: 8, NSplit: 9, MaxPrefetchWindow: 8},
+		{HistorySize: 8, NSplit: 2, MaxPrefetchWindow: -2},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPredictor(%+v) did not panic", cfg)
+				}
+			}()
+			NewPredictor(cfg)
+		}()
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 17: 32}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// drive simulates the fault loop: each fault records + predicts; predictions
+// that the (synthetic) future actually touches are reported back as hits.
+func drive(p *Predictor, addrs []PageID) (predicted map[PageID]bool) {
+	predicted = make(map[PageID]bool)
+	for _, a := range addrs {
+		if predicted[a] {
+			p.NoteHit()
+			// A consumed prefetch would fault no further; still record the
+			// access so the history reflects the true stream.
+			p.Record(a)
+			continue
+		}
+		for _, c := range p.OnFault(a, nil) {
+			predicted[c] = true
+		}
+	}
+	return predicted
+}
+
+func TestSequentialStreamGrowsWindowAndPredicts(t *testing.T) {
+	p := NewPredictor(Config{})
+	var addrs []PageID
+	for i := 0; i < 200; i++ {
+		addrs = append(addrs, PageID(1000+i))
+	}
+	drive(p, addrs)
+	st := p.Stats()
+	if st.TrendHits == 0 {
+		t.Fatal("no trends detected on a sequential stream")
+	}
+	if st.PagesPredicted == 0 {
+		t.Fatal("no pages predicted on a sequential stream")
+	}
+	// Steady state: nearly all accesses after warmup must be prefetch hits,
+	// i.e. most faults are avoided. Faults recorded = all 200 (Record runs on
+	// hits too); but prediction coverage should be large.
+	if st.PagesPredicted < 150 {
+		t.Fatalf("predicted only %d pages over a 200-access sequential stream", st.PagesPredicted)
+	}
+}
+
+func TestStrideStreamPredictsStride(t *testing.T) {
+	p := NewPredictor(Config{})
+	// Stride-10 pattern, the paper's §2 microbenchmark.
+	for i := 0; i < 50; i++ {
+		p.Record(PageID(i * 10))
+	}
+	got := p.Predict(PageID(490))
+	if len(got) == 0 {
+		t.Fatal("no predictions for an established stride")
+	}
+	for i, c := range got {
+		want := PageID(490 + 10*(i+1))
+		if c != want {
+			t.Fatalf("candidate %d = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestRandomStreamSuspendsPrefetching(t *testing.T) {
+	p := NewPredictor(Config{})
+	// Deterministic pseudo-random walk with no repeated delta.
+	addr := PageID(1 << 20)
+	seed := uint64(12345)
+	next := func() PageID {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return PageID(seed % (1 << 24))
+	}
+	totalPredicted := int64(0)
+	for i := 0; i < 500; i++ {
+		addr = next()
+		cands := p.OnFault(addr, nil)
+		totalPredicted += int64(len(cands))
+	}
+	st := p.Stats()
+	if st.Suspended < 400 {
+		t.Fatalf("suspended on only %d of 500 random faults", st.Suspended)
+	}
+	if totalPredicted > 50 {
+		t.Fatalf("predicted %d pages on random stream, want near zero", totalPredicted)
+	}
+}
+
+func TestWindowGrowthToMax(t *testing.T) {
+	p := NewPredictor(Config{MaxPrefetchWindow: 8})
+	// Establish a sequential trend.
+	for i := 0; i < 20; i++ {
+		p.Record(PageID(i))
+	}
+	// Report escalating hit counts and check the window ramps 1→2→4→8 and
+	// saturates at PWsizemax.
+	sizes := []int{}
+	for round := 0; round < 6; round++ {
+		base := PageID(20 + round*10)
+		for k := 0; k < 8; k++ {
+			p.NoteHit()
+		}
+		p.Record(base)
+		got := p.Predict(base)
+		sizes = append(sizes, len(got))
+	}
+	for _, s := range sizes {
+		if s > 8 {
+			t.Fatalf("window exceeded max: %v", sizes)
+		}
+	}
+	if sizes[len(sizes)-1] != 8 {
+		t.Fatalf("window did not saturate at 8: %v", sizes)
+	}
+}
+
+func TestSmoothShrinkNoInstantSuspend(t *testing.T) {
+	p := NewPredictor(Config{})
+	// Grow the window to 8 with a hot sequential stream.
+	for i := 0; i < 20; i++ {
+		p.Record(PageID(i))
+	}
+	for k := 0; k < 8; k++ {
+		p.NoteHit()
+	}
+	p.Record(20)
+	if got := len(p.Predict(20)); got != 8 {
+		t.Fatalf("setup: window = %d, want 8", got)
+	}
+	// Now: zero hits and a fault off-trend. The window must halve (4), not
+	// suspend outright.
+	p.Record(100000)
+	if got := len(p.Predict(100000)); got != 4 {
+		t.Fatalf("after one cold fault window = %d, want 4 (smooth shrink)", got)
+	}
+	// Repeated cold faults decay 2, 1, then 0.
+	p.Record(200000)
+	if got := len(p.Predict(200000)); got != 2 {
+		t.Fatalf("decay step = %d, want 2", got)
+	}
+	p.Record(300000)
+	if got := len(p.Predict(300000)); got != 1 {
+		t.Fatalf("decay step = %d, want 1", got)
+	}
+	p.Record(400000)
+	if got := len(p.Predict(400000)); got != 0 {
+		t.Fatalf("decay step = %d, want 0 (suspended)", got)
+	}
+	if p.Stats().Suspended == 0 {
+		t.Fatal("suspension not counted")
+	}
+}
+
+func TestSpeculativePrefetchUsesLatestTrend(t *testing.T) {
+	p := NewPredictor(Config{HistorySize: 8, NSplit: 2, MaxPrefetchWindow: 8})
+	// Strong +3 trend.
+	for i := 0; i < 10; i++ {
+		p.Record(PageID(i * 3))
+	}
+	// Break the trend hard enough that no majority exists in any window,
+	// while hits keep the window open: speculative branch engages.
+	noise := []PageID{1000, 500, 3000, 100, 4000, 900, 2000, 700}
+	var lastCands []PageID
+	for _, a := range noise {
+		p.NoteHit() // keep Chit > 0 so PWsize stays nonzero
+		p.Record(a)
+		lastCands = p.Predict(a)
+	}
+	if p.Stats().Speculative == 0 {
+		t.Fatal("speculative branch never taken")
+	}
+	if len(lastCands) == 0 {
+		t.Fatal("speculation produced no candidates")
+	}
+	// Candidates follow the latest known trend (+3) from the faulting page.
+	want := noise[len(noise)-1] + 3
+	if lastCands[0] != want {
+		t.Fatalf("speculative candidate = %d, want %d (latest trend +3)", lastCands[0], want)
+	}
+}
+
+func TestSpeculativeWithoutAnyTrendSurroundsPt(t *testing.T) {
+	p := NewPredictor(Config{HistorySize: 8, NSplit: 2, MaxPrefetchWindow: 8})
+	// No history at all, but force Chit > 0 (e.g. hits on another path):
+	// candidates surround Pt.
+	p.NoteHit()
+	p.NoteHit()
+	p.Record(100)
+	cands := p.Predict(100)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0] != 101 || (len(cands) > 1 && cands[1] != 99) {
+		t.Fatalf("candidates = %v, want to surround 100", cands)
+	}
+}
+
+func TestPredictNeverReturnsNegativePages(t *testing.T) {
+	p := NewPredictor(Config{})
+	// Descending stream near zero: candidates would go negative.
+	for i := 20; i >= 0; i-- {
+		p.Record(PageID(i))
+	}
+	for k := 0; k < 8; k++ {
+		p.NoteHit()
+	}
+	p.Record(0)
+	for _, c := range p.Predict(0) {
+		if c < 0 {
+			t.Fatalf("negative candidate %d", c)
+		}
+	}
+}
+
+func TestPredictIntoAppends(t *testing.T) {
+	p := NewPredictor(Config{})
+	for i := 0; i < 20; i++ {
+		p.Record(PageID(i))
+	}
+	p.NoteHit()
+	buf := make([]PageID, 0, 16)
+	buf = append(buf, 777)
+	p.Record(20)
+	out := p.PredictInto(20, buf)
+	if out[0] != 777 {
+		t.Fatal("PredictInto did not preserve existing elements")
+	}
+	if len(out) < 2 {
+		t.Fatal("PredictInto appended nothing")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := NewPredictor(Config{})
+	for i := 0; i < 50; i++ {
+		p.Record(PageID(i))
+	}
+	p.Reset()
+	if p.Stats().Faults != 0 || p.History().Len() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	// After reset, a cold fault must not predict.
+	p.Record(5)
+	if got := p.Predict(5); len(got) != 0 {
+		t.Fatalf("predicted %v immediately after reset", got)
+	}
+}
+
+func TestZeroDeltaMajorityFallsBackToSpeculation(t *testing.T) {
+	p := NewPredictor(Config{HistorySize: 8, NSplit: 2})
+	// Same page over and over: majority delta 0 (directionless).
+	for i := 0; i < 10; i++ {
+		p.Record(42)
+	}
+	p.NoteHit()
+	p.Record(42)
+	cands := p.Predict(42)
+	for _, c := range cands {
+		if c == 42 {
+			t.Fatalf("predicted the faulting page itself: %v", cands)
+		}
+	}
+	if p.Stats().Speculative == 0 {
+		t.Fatal("zero-delta majority did not take the speculative branch")
+	}
+}
+
+func TestPredictorDeterminism(t *testing.T) {
+	run := func() Stats {
+		p := NewPredictor(Config{})
+		addrs := make([]PageID, 0, 300)
+		for i := 0; i < 100; i++ {
+			addrs = append(addrs, PageID(i))
+		}
+		for i := 0; i < 100; i++ {
+			addrs = append(addrs, PageID(10000+i*7))
+		}
+		for i := 0; i < 100; i++ {
+			addrs = append(addrs, PageID((i*2654435761)%65536))
+		}
+		drive(p, addrs)
+		return p.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic predictor: %+v vs %+v", a, b)
+	}
+}
+
+func TestPredictorPropertyCandidatesFollowTrendWhenDetected(t *testing.T) {
+	// Property: for any positive stride s and window, once the stride is
+	// established every candidate equals Pt + k·s.
+	f := func(strideRaw uint8, hitsRaw uint8) bool {
+		stride := int64(strideRaw%100) + 1
+		hits := int(hitsRaw % 10)
+		p := NewPredictor(Config{})
+		for i := 0; i < 40; i++ {
+			p.Record(PageID(int64(i) * stride))
+		}
+		for k := 0; k < hits; k++ {
+			p.NoteHit()
+		}
+		pt := PageID(40 * stride)
+		p.Record(pt)
+		for i, c := range p.Predict(pt) {
+			if c != pt+PageID(int64(i+1)*stride) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := NewPredictor(Config{})
+	for i := 0; i < 10; i++ {
+		p.OnFault(PageID(i), nil)
+	}
+	st := p.Stats()
+	if st.Faults != 10 {
+		t.Fatalf("Faults = %d, want 10", st.Faults)
+	}
+	if st.TrendHits == 0 {
+		t.Fatal("sequential faults should detect trends")
+	}
+}

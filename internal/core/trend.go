@@ -1,0 +1,63 @@
+package core
+
+// FindTrend implements Algorithm 1 of the paper. It searches for a majority
+// delta ("trend") in the most recent window of the access history, starting
+// with a window of Hsize/nsplit entries and doubling on failure until the
+// window covers the whole history. It reports the majority delta and whether
+// one was found.
+//
+// Starting small makes detection cheap and quick to react when the trend is
+// strong (a regular trend is majority in any suffix); growing the window
+// tolerates short-term irregularities that would hide the trend from a small
+// window (see the t8 step of the paper's Figure 5 walk-through).
+func FindTrend(h *AccessHistory, nsplit int) (int64, bool) {
+	return findTrend(h, nsplit, majorityInWindow)
+}
+
+// FindTrendStrict is the ablation variant: a trend exists only when every
+// delta in some window agrees — the rigid detection style of §2.3's
+// baselines.
+func FindTrendStrict(h *AccessHistory, nsplit int) (int64, bool) {
+	return findTrend(h, nsplit, strictInWindow)
+}
+
+func findTrend(h *AccessHistory, nsplit int, detect func(*AccessHistory, int) (int64, bool)) (int64, bool) {
+	hsize := h.Cap()
+	if nsplit < 1 {
+		nsplit = 1
+	}
+	w := hsize / nsplit
+	if w < 1 {
+		w = 1
+	}
+	for {
+		if delta, ok := detect(h, w); ok {
+			return delta, true
+		}
+		if w >= hsize || w >= h.Len() {
+			// Window already covers everything recorded; no trend.
+			return 0, false
+		}
+		w *= 2
+		if w > hsize {
+			w = hsize
+		}
+	}
+}
+
+// strictInWindow detects a trend only if all w most recent deltas are equal.
+func strictInWindow(h *AccessHistory, w int) (int64, bool) {
+	if w > h.Len() {
+		w = h.Len()
+	}
+	if w == 0 {
+		return 0, false
+	}
+	first := h.At(0)
+	for i := 1; i < w; i++ {
+		if h.At(i) != first {
+			return 0, false
+		}
+	}
+	return first, true
+}

@@ -1,0 +1,132 @@
+package datapath
+
+import (
+	"math"
+	"testing"
+
+	"leap/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	if Legacy.String() != "legacy" || Lean.String() != "lean" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestLegacyPathStages(t *testing.T) {
+	p := New(Config{Kind: Legacy}, sim.NewRNG(1))
+	b := p.RequestOverhead()
+	if b.Entry <= 0 || b.BioPrep <= 0 || b.Staging <= 0 || b.Dispatch <= 0 {
+		t.Fatalf("legacy breakdown has empty stages: %+v", b)
+	}
+	if b.Total() != b.Entry+b.BioPrep+b.Staging+b.Dispatch {
+		t.Fatal("Total mismatch")
+	}
+}
+
+func TestLeanPathSkipsBlockLayer(t *testing.T) {
+	p := New(Config{Kind: Lean}, sim.NewRNG(1))
+	for i := 0; i < 100; i++ {
+		b := p.RequestOverhead()
+		if b.BioPrep != 0 || b.Staging != 0 {
+			t.Fatalf("lean path sampled block-layer stages: %+v", b)
+		}
+	}
+	if p.BioPrepHist.Count() != 0 || p.StagingHist.Count() != 0 {
+		t.Fatal("lean path recorded block-layer histograms")
+	}
+}
+
+func TestPaperCalibration(t *testing.T) {
+	// Empirical stage means must match Figure 1 within 5%.
+	p := New(Config{Kind: Legacy}, sim.NewRNG(42))
+	const n = 200000
+	var entry, bio, staging, dispatch float64
+	for i := 0; i < n; i++ {
+		b := p.RequestOverhead()
+		entry += float64(b.Entry)
+		bio += float64(b.BioPrep)
+		staging += float64(b.Staging)
+		dispatch += float64(b.Dispatch)
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s mean = %.0fns, want ~%.0fns", name, got, want)
+		}
+	}
+	check("entry", entry/n, 270)
+	check("bioPrep", bio/n, 10040)
+	check("staging", staging/n, 21880)
+	check("dispatch", dispatch/n, 2100)
+}
+
+func TestMeanOverheadGap(t *testing.T) {
+	// The paper's headline: ~34µs of block-layer overhead separates the
+	// two paths.
+	rng := sim.NewRNG(1)
+	legacy := New(Config{Kind: Legacy}, rng)
+	lean := New(Config{Kind: Lean}, rng)
+	gap := legacy.MeanOverhead() - lean.MeanOverhead()
+	if gap < 30*sim.Microsecond || gap > 36*sim.Microsecond {
+		t.Fatalf("block-layer overhead gap = %v, want ~32µs", gap)
+	}
+}
+
+func TestStagingHeavyTail(t *testing.T) {
+	// The staging stage must show the paper's high variance: p99 well above
+	// the median.
+	p := New(Config{Kind: Legacy}, sim.NewRNG(7))
+	for i := 0; i < 100000; i++ {
+		p.RequestOverhead()
+	}
+	med := p.StagingHist.Percentile(50)
+	p99 := p.StagingHist.Percentile(99)
+	if float64(p99) < 4*float64(med) {
+		t.Fatalf("staging tail too light: p50=%v p99=%v", med, p99)
+	}
+}
+
+func TestHitLatencyCalibration(t *testing.T) {
+	// Lean (Leap) hits are sub-µs; legacy hits carry the ~1µs constant
+	// implementation overhead Figure 2's caption describes.
+	lean := New(Config{Kind: Lean}, sim.NewRNG(3))
+	var leanSum float64
+	for i := 0; i < 10000; i++ {
+		l := lean.HitLatency()
+		if l <= 0 || l > sim.Microsecond {
+			t.Fatalf("lean hit latency %v out of range", l)
+		}
+		leanSum += float64(l)
+	}
+	if mean := leanSum / 10000; mean < 200 || mean > 350 {
+		t.Fatalf("lean hit mean = %.0fns, want ~270ns", mean)
+	}
+	legacy := New(Config{Kind: Legacy}, sim.NewRNG(3))
+	var legacySum float64
+	for i := 0; i < 10000; i++ {
+		legacySum += float64(legacy.HitLatency())
+	}
+	if mean := legacySum / 10000; mean < 900 || mean > 1300 {
+		t.Fatalf("legacy hit mean = %.0fns, want ~1.1µs", mean)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []sim.Duration {
+		p := New(Config{Kind: Legacy}, sim.NewRNG(55))
+		out := make([]sim.Duration, 100)
+		for i := range out {
+			out[i] = p.RequestOverhead().Total()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§2 motivation and §5), each reproducing the same
+// rows/series the paper reports on top of the simulation substrates. The
+// drivers are deterministic given (Scale, seed); cmd/leapbench renders them
+// and bench_test.go wraps each in a testing.B benchmark.
+//
+// Naming follows the paper: "Disk" is local HDD swap through the stock
+// kernel path; "D-VMM" is disaggregated VMM (Infiniswap-style) on the
+// default data path; "D-VMM+Leap" swaps in the lean path, the Leap
+// prefetcher and eager eviction; "D-VFS" is the file abstraction (Remote
+// Regions-style).
+package experiments
+
+import (
+	"leap/internal/core"
+	"leap/internal/datapath"
+	"leap/internal/pagecache"
+	"leap/internal/prefetch"
+	"leap/internal/sim"
+	"leap/internal/storage"
+	"leap/internal/vfs"
+	"leap/internal/vmm"
+	"leap/internal/workload"
+)
+
+// Scale sizes a run: per-process warmup and measured access counts.
+type Scale struct {
+	Warmup   int64
+	Measured int64
+}
+
+// Standard scales: Full for cmd/leapbench runs, Small for tests and quick
+// benches.
+var (
+	Full  = Scale{Warmup: 30000, Measured: 150000}
+	Small = Scale{Warmup: 3000, Measured: 15000}
+)
+
+// cachePages leaves the prefetch cache unbounded in the presets: the cgroup
+// charge coupling in internal/vmm is what constrains it, so cache space
+// competes with the application's resident set and pollution has a real
+// cost — aggressive prefetchers churn their own unconsumed pages under
+// pressure (Figure 9a's Next-N-Line miss count). Figure 12 overrides this
+// with its explicit size grid.
+const cachePages = 0
+
+// DiskConfig is local HDD swap on the stock path: legacy block layer,
+// read-ahead, lazy reclaim.
+func DiskConfig(seed uint64) vmm.Config {
+	pf, _ := prefetch.New("readahead")
+	return vmm.Config{
+		Path:          datapath.Config{Kind: datapath.Legacy},
+		CachePolicy:   pagecache.EvictLazy,
+		CacheCapacity: cachePages,
+		Prefetcher:    pf,
+		Device:        storage.NewHDD(sim.NewRNG(seed ^ 0xd15c)),
+		Seed:          seed,
+	}
+}
+
+// SSDConfig is local SSD swap on the stock path.
+func SSDConfig(seed uint64) vmm.Config {
+	cfg := DiskConfig(seed)
+	cfg.Device = storage.NewSSD(sim.NewRNG(seed ^ 0x55d))
+	return cfg
+}
+
+// DVMMConfig is Infiniswap-style remote paging on the default data path.
+func DVMMConfig(seed uint64) vmm.Config {
+	pf, _ := prefetch.New("readahead")
+	return vmm.Config{
+		Path:          datapath.Config{Kind: datapath.Legacy},
+		CachePolicy:   pagecache.EvictLazy,
+		CacheCapacity: cachePages,
+		Prefetcher:    pf,
+		Seed:          seed,
+	}
+}
+
+// DVMMLeapConfig is remote paging with the full Leap stack: lean path,
+// majority-trend prefetcher, eager eviction.
+func DVMMLeapConfig(seed uint64) vmm.Config {
+	return vmm.Config{
+		Path:          datapath.Config{Kind: datapath.Lean},
+		CachePolicy:   pagecache.EvictEager,
+		CacheCapacity: cachePages,
+		Prefetcher:    prefetch.NewLeap(core.Config{}),
+		Seed:          seed,
+	}
+}
+
+// DVFSConfig is Remote-Regions-style file access on the default path.
+func DVFSConfig(seed uint64) vfs.Config {
+	pf, _ := prefetch.New("readahead")
+	return vfs.Config{
+		Path:        datapath.Config{Kind: datapath.Legacy},
+		CachePolicy: pagecache.EvictLazy,
+		Prefetcher:  pf,
+		Seed:        seed,
+	}
+}
+
+// DVFSLeapConfig is the file abstraction with the Leap stack.
+func DVFSLeapConfig(seed uint64) vfs.Config {
+	return vfs.Config{
+		Path:        datapath.Config{Kind: datapath.Lean},
+		CachePolicy: pagecache.EvictEager,
+		Prefetcher:  prefetch.NewLeap(core.Config{}),
+		Seed:        seed,
+	}
+}
+
+// appAt builds a vmm.App running profile at the given memory fraction
+// (1.0 = 100% of peak usage fits locally, the paper's cgroup knob). The
+// budget starts populated, as in the paper's steady-state measurements.
+func appAt(p workload.Profile, pid vmm.PID, memFrac float64, seed uint64) vmm.App {
+	limit := int64(float64(p.TotalPages) * memFrac)
+	if limit < 1 {
+		limit = 1
+	}
+	return vmm.App{
+		PID:          pid,
+		Gen:          workload.NewApp(p, seed),
+		LimitPages:   limit,
+		PreloadPages: limit,
+	}
+}
+
+// microApp builds a microbenchmark App (Sequential or Stride-10): the §2.2
+// setup gives the 2GB working set a 1GB budget, and the cyclic scan defeats
+// LRU so essentially every access faults; the budget still leaves ample
+// slack for the prefetch cache.
+func microApp(gen workload.Generator, pid vmm.PID) vmm.App {
+	return vmm.App{PID: pid, Gen: gen, LimitPages: 8192}
+}
+
+// mustRun wraps vmm.Run, panicking on configuration errors (experiment
+// definitions are static; an error is a bug, not an input condition).
+func mustRun(cfg vmm.Config, apps []vmm.App, s Scale) (*vmm.Machine, vmm.Result) {
+	m, res, err := vmm.Run(cfg, apps, s.Warmup, s.Measured)
+	if err != nil {
+		panic(err)
+	}
+	return m, res
+}

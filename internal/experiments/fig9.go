@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"leap/internal/metrics"
+	"leap/internal/prefetch"
+	"leap/internal/sim"
+	"leap/internal/vmm"
+	"leap/internal/workload"
+)
+
+// PrefetcherNames is the Figure 9/10 competitor set, in presentation order.
+// GHB is this repository's extension: the paper lists it in Table 1 but
+// excludes it from the runtime comparison because of its memory overhead;
+// having built it, we measure it too.
+var PrefetcherNames = []string{"nextnline", "stride", "readahead", "ghb", "leap"}
+
+// Fig9Row is one prefetcher's cache behaviour and completion time
+// (Figures 9a and 9b) plus the quality metrics reused by Figure 10.
+type Fig9Row struct {
+	Prefetcher string
+	CacheAdds  int64
+	CacheMiss  int64
+	Completion sim.Duration
+	Accuracy   float64
+	Coverage   float64
+	// Timeliness is the prefetch→first-hit distribution (Figure 10b).
+	Timeliness metrics.Summary
+}
+
+// Fig9Result holds all rows.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 runs PowerGraph on disk (stock block-layer path, 50% memory),
+// swapping only the prefetching algorithm — isolating the algorithm's
+// effect exactly as §5.2.3 does.
+func Fig9(s Scale, seed uint64) Fig9Result {
+	prof := workload.PowerGraphProfile()
+	var out Fig9Result
+	for _, name := range PrefetcherNames {
+		pf, err := prefetch.New(name)
+		if err != nil {
+			panic(err)
+		}
+		cfg := DiskConfig(seed)
+		cfg.Prefetcher = pf
+		m, res := mustRun(cfg, []vmm.App{appAt(prof, 1, 0.5, seed)}, s)
+		out.Rows = append(out.Rows, Fig9Row{
+			Prefetcher: name,
+			CacheAdds:  res.CacheAdds,
+			CacheMiss:  res.CacheMisses,
+			Completion: res.Makespan,
+			Accuracy:   res.Accuracy,
+			Coverage:   res.Coverage,
+			Timeliness: m.Cache().Timeliness.Summarize(),
+		})
+	}
+	return out
+}
+
+// Row returns the row for a prefetcher name.
+func (r Fig9Result) Row(name string) (Fig9Row, bool) {
+	for _, row := range r.Rows {
+		if row.Prefetcher == name {
+			return row, true
+		}
+	}
+	return Fig9Row{}, false
+}
+
+// String renders Figures 9a and 9b.
+func (r Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — prefetcher cache behaviour and completion (PowerGraph on disk @50%%)\n")
+	fmt.Fprintf(&b, "  %-12s %12s %12s %14s\n", "prefetcher", "cache adds", "cache miss", "completion")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %12d %12d %14v\n",
+			row.Prefetcher, row.CacheAdds, row.CacheMiss, row.Completion)
+	}
+	fmt.Fprintf(&b, "  (paper: Leap uses 28–62%% fewer cache adds; 1.7–10.5× fewer misses;\n")
+	fmt.Fprintf(&b, "   completion 1.75×/2.59×/3.36× better than Read-Ahead/Next-N-Line/Stride)\n")
+	return b.String()
+}
+
+// Fig10Result reuses the Figure 9 runs for the prefetcher quality metrics.
+type Fig10Result struct {
+	Rows []Fig9Row
+}
+
+// Fig10 derives accuracy/coverage/timeliness from the same configuration.
+func Fig10(s Scale, seed uint64) Fig10Result {
+	return Fig10Result{Rows: Fig9(s, seed).Rows}
+}
+
+// Row returns the row for a prefetcher name.
+func (r Fig10Result) Row(name string) (Fig9Row, bool) {
+	return Fig9Result{Rows: r.Rows}.Row(name)
+}
+
+// String renders Figures 10a and 10b.
+func (r Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — prefetcher quality (PowerGraph on disk @50%%)\n")
+	fmt.Fprintf(&b, "  %-12s %10s %10s %14s %14s\n",
+		"prefetcher", "accuracy", "coverage", "timeliness p50", "timeliness p99")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %9.1f%% %9.1f%% %14v %14v\n",
+			row.Prefetcher, row.Accuracy*100, row.Coverage*100,
+			row.Timeliness.P50, row.Timeliness.P99)
+	}
+	fmt.Fprintf(&b, "  (paper: Leap trades 0.9–10.9%% accuracy for 3.1–37.5%% more coverage\n")
+	fmt.Fprintf(&b, "   and 12.4×/13.9× better median timeliness than Read-Ahead/Next-N-Line)\n")
+	return b.String()
+}

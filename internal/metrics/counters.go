@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a named counter set with deterministic (sorted) rendering.
+// The zero value is ready to use.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get reports the named counter's value (0 if never touched).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names reports the sorted set of counter names.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all of o's counters into c.
+func (c *Counters) Merge(o *Counters) {
+	for n, v := range o.m {
+		c.Add(n, v)
+	}
+}
+
+// String renders the counters sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+	}
+	return b.String()
+}
+
+// Welford accumulates a streaming mean and variance (Welford's algorithm).
+// The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Observe adds one observation.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count reports the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean reports the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the sample variance (0 if fewer than 2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Ratio formats a/b as a "×" factor string, guarding against division by
+// zero; used in EXPERIMENTS.md-style paper-vs-measured reporting.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf×"
+	}
+	return fmt.Sprintf("%.2f×", a/b)
+}

@@ -1,0 +1,113 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+func TestGHBNeedsHistory(t *testing.T) {
+	p := NewGHB(8)
+	if got := p.OnAccess(1, 100, true, nil); len(got) != 0 {
+		t.Fatalf("predicted with no history: %v", got)
+	}
+	if got := p.OnAccess(1, 101, true, nil); len(got) != 0 {
+		t.Fatalf("predicted with one delta: %v", got)
+	}
+}
+
+func TestGHBReplaysRecurringSequence(t *testing.T) {
+	p := NewGHB(4)
+	// Teach it an irregular but recurring delta sequence: +3 +5 +2 +7,
+	// repeated from different bases.
+	deltas := []int64{3, 5, 2, 7}
+	page := PageID(1000)
+	p.OnAccess(1, page, true, nil)
+	for rep := 0; rep < 3; rep++ {
+		for _, d := range deltas {
+			page += PageID(d)
+			p.OnAccess(1, page, true, nil)
+		}
+	}
+	// Start the sequence once more: after the (+3, +5) pair recurs, the
+	// buffer should replay what followed last time: +2 then +7.
+	page += 3
+	p.OnAccess(1, page, true, nil)
+	page += 5
+	got := p.OnAccess(1, page, true, nil)
+	if len(got) < 2 {
+		t.Fatalf("no replay predictions: %v", got)
+	}
+	if got[0] != page+2 || got[1] != page+2+7 {
+		t.Fatalf("replay = %v, want [%d %d ...]", got, page+2, page+2+7)
+	}
+}
+
+func TestGHBSequentialWorks(t *testing.T) {
+	p := NewGHB(4)
+	var got []PageID
+	for i := 0; i < 20; i++ {
+		got = p.OnAccess(1, PageID(100+i), true, nil)
+	}
+	if len(got) == 0 || got[0] != 120 {
+		t.Fatalf("sequential replay = %v, want [120 ...]", got)
+	}
+}
+
+func TestGHBNoPredictionOnHits(t *testing.T) {
+	p := NewGHB(4)
+	for i := 0; i < 20; i++ {
+		p.OnAccess(1, PageID(i), true, nil)
+	}
+	if got := p.OnAccess(1, 20, false, nil); len(got) != 0 {
+		t.Fatalf("predicted on a cache hit: %v", got)
+	}
+}
+
+func TestGHBNeverNegative(t *testing.T) {
+	p := NewGHB(8)
+	// Descending pattern near zero.
+	for i := 30; i >= 0; i -= 3 {
+		for _, c := range p.OnAccess(1, PageID(i), true, nil) {
+			if c < 0 {
+				t.Fatalf("negative candidate %d", c)
+			}
+		}
+	}
+}
+
+func TestGHBBufferWraps(t *testing.T) {
+	p := NewGHB(4)
+	// Push far more deltas than the buffer holds; must not panic and must
+	// still predict on fresh recurrences.
+	for i := 0; i < ghbBufferSize*3; i++ {
+		p.OnAccess(1, PageID(i*2), true, nil)
+	}
+	got := p.OnAccess(1, PageID(ghbBufferSize*3*2+2), true, nil)
+	_ = got // prediction depends on aliasing; the test is absence of panics
+	if p.n != ghbBufferSize {
+		t.Fatalf("buffer fill = %d, want %d", p.n, ghbBufferSize)
+	}
+}
+
+func TestGHBReset(t *testing.T) {
+	p := NewGHB(4)
+	for i := 0; i < 20; i++ {
+		p.OnAccess(1, PageID(i), true, nil)
+	}
+	p.Reset()
+	if got := p.OnAccess(1, 100, true, nil); len(got) != 0 {
+		t.Fatalf("predicted right after reset: %v", got)
+	}
+	if p.Name() != "ghb" {
+		t.Fatal("reset lost identity")
+	}
+}
+
+func TestGHBRegistered(t *testing.T) {
+	p, err := New("ghb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ghb" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

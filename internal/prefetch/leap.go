@@ -1,0 +1,67 @@
+package prefetch
+
+import "leap/internal/core"
+
+// Leap adapts internal/core's majority-trend predictor to the Prefetcher
+// interface. By default each process gets its own predictor — the paper's
+// page-access isolation (§4.1); setting Shared before first use collapses
+// all processes onto a single predictor, which exists only for the
+// isolation ablation bench.
+type Leap struct {
+	// Shared disables per-process isolation when true.
+	Shared bool
+
+	cfg   core.Config
+	procs map[PID]*core.Predictor
+	buf   []core.PageID
+}
+
+// NewLeap returns a Leap prefetcher; zero Config fields take the paper's
+// defaults (Hsize=32, Nsplit=2, PWsizemax=8).
+func NewLeap(cfg core.Config) *Leap {
+	return &Leap{cfg: cfg, procs: make(map[PID]*core.Predictor)}
+}
+
+// Name implements Prefetcher.
+func (p *Leap) Name() string { return "leap" }
+
+func (p *Leap) predictor(pid PID) *core.Predictor {
+	if p.Shared {
+		pid = 0
+	}
+	pr, ok := p.procs[pid]
+	if !ok {
+		pr = core.NewPredictor(p.cfg)
+		p.procs[pid] = pr
+	}
+	return pr
+}
+
+// OnAccess implements Prefetcher. Every swap-in is recorded in the access
+// history (§4.1's log_access_history); candidate generation — the
+// do_prefetch that replaces swapin_readahead — runs only on cache misses.
+func (p *Leap) OnAccess(pid PID, page PageID, miss bool, dst []PageID) []PageID {
+	pr := p.predictor(pid)
+	pr.Record(page)
+	if !miss {
+		return dst
+	}
+	p.buf = pr.PredictInto(page, p.buf[:0])
+	return append(dst, p.buf...)
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (p *Leap) OnPrefetchHit(pid PID) { p.predictor(pid).NoteHit() }
+
+// Reset implements Prefetcher.
+func (p *Leap) Reset() { p.procs = make(map[PID]*core.Predictor) }
+
+// ProcessStats reports the per-process predictor statistics, keyed by PID
+// (key 0 when Shared).
+func (p *Leap) ProcessStats() map[PID]core.Stats {
+	out := make(map[PID]core.Stats, len(p.procs))
+	for pid, pr := range p.procs {
+		out[pid] = pr.Stats()
+	}
+	return out
+}

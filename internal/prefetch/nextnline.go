@@ -1,0 +1,39 @@
+package prefetch
+
+// NextNLine is the classic next-N-line prefetcher: every access to page P
+// requests P+1 … P+N. It has no adaptivity whatsoever — maximal coverage on
+// sequential streams, maximal pollution on everything else — which is
+// exactly the contrast the paper's Figure 9/10 draws.
+type NextNLine struct {
+	n int
+}
+
+// NewNextNLine returns a Next-N-Line prefetcher with depth n (the paper's
+// evaluation uses 8, matching the 8-page prefetch window).
+func NewNextNLine(n int) *NextNLine {
+	if n < 1 {
+		n = 1
+	}
+	return &NextNLine{n: n}
+}
+
+// Name implements Prefetcher.
+func (p *NextNLine) Name() string { return "nextnline" }
+
+// OnAccess implements Prefetcher. Candidates are generated on misses only
+// ("pages sequentially mapped to the page with the cache miss").
+func (p *NextNLine) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
+	if !miss {
+		return dst
+	}
+	for k := 1; k <= p.n; k++ {
+		dst = append(dst, page+PageID(k))
+	}
+	return dst
+}
+
+// OnPrefetchHit implements Prefetcher: Next-N-Line ignores feedback.
+func (p *NextNLine) OnPrefetchHit(PID) {}
+
+// Reset implements Prefetcher.
+func (p *NextNLine) Reset() {}

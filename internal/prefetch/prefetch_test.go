@@ -1,0 +1,299 @@
+package prefetch
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"leap/internal/core"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"ghb", "leap", "nextnline", "none", "readahead", "stride"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		p, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Fatalf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("New(bogus) did not error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("none", func() Prefetcher { return None{} })
+}
+
+func TestNone(t *testing.T) {
+	var p None
+	if got := p.OnAccess(1, 100, true, nil); len(got) != 0 {
+		t.Fatalf("None predicted %v", got)
+	}
+	dst := []PageID{5}
+	if got := p.OnAccess(1, 100, true, dst); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("None broke the append contract: %v", got)
+	}
+	p.OnPrefetchHit(1) // must not panic
+	p.Reset()
+}
+
+func TestNextNLine(t *testing.T) {
+	p := NewNextNLine(4)
+	got := p.OnAccess(1, 100, true, nil)
+	want := []PageID{101, 102, 103, 104}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OnAccess = %v, want %v", got, want)
+	}
+	// Unconditional: random accesses predict just as much.
+	if got := p.OnAccess(1, 9999, true, nil); len(got) != 4 {
+		t.Fatalf("NextNLine throttled: %v", got)
+	}
+}
+
+func TestNextNLineMinDepth(t *testing.T) {
+	p := NewNextNLine(0)
+	if got := p.OnAccess(1, 10, true, nil); len(got) != 1 {
+		t.Fatalf("depth floor broken: %v", got)
+	}
+}
+
+func TestStridePredictsFromLastDelta(t *testing.T) {
+	p := NewStride(8)
+	if got := p.OnAccess(1, 100, true, nil); len(got) != 0 {
+		t.Fatalf("predicted on first access: %v", got)
+	}
+	got := p.OnAccess(1, 110, true, nil) // delta 10 established
+	if len(got) == 0 || got[0] != 120 {
+		t.Fatalf("stride predicted %v, want [120 ...]", got)
+	}
+}
+
+func TestStrideAggressiveOnIrregularity(t *testing.T) {
+	// The baseline's weakness (Figure 9): any two unrelated faults define a
+	// "stride", so irregular streams still trigger (wrong) prefetches.
+	p := NewStride(8)
+	p.OnAccess(1, 100, true, nil)
+	p.OnAccess(1, 110, true, nil)
+	got := p.OnAccess(1, 5000, true, nil) // delta 4890
+	if len(got) == 0 || got[0] != 5000+4890 {
+		t.Fatalf("irregular delta predicted %v, want [9890 ...]", got)
+	}
+	// Hits on no-hit windows shrink depth back toward 1.
+	n := len(p.OnAccess(1, 5010, true, nil))
+	if n > 1 {
+		t.Fatalf("depth did not shrink without hits: %d", n)
+	}
+}
+
+func TestStrideSkipsZeroDelta(t *testing.T) {
+	p := NewStride(8)
+	p.OnAccess(1, 100, true, nil)
+	if got := p.OnAccess(1, 100, true, nil); len(got) != 0 {
+		t.Fatalf("zero delta predicted %v", got)
+	}
+}
+
+func TestStrideDepthAdapts(t *testing.T) {
+	p := NewStride(8)
+	p.OnAccess(1, 0, true, nil)
+	p.OnAccess(1, 10, true, nil)
+	n1 := len(p.OnAccess(1, 20, true, nil))
+	p.OnPrefetchHit(1)
+	n2 := len(p.OnAccess(1, 30, true, nil))
+	p.OnPrefetchHit(1)
+	n3 := len(p.OnAccess(1, 40, true, nil))
+	if !(n1 <= n2 && n2 <= n3) || n3 < 2 {
+		t.Fatalf("depth did not grow with hits: %d %d %d", n1, n2, n3)
+	}
+	// No hits: depth halves.
+	n4 := len(p.OnAccess(1, 50, true, nil))
+	if n4 > n3 {
+		t.Fatalf("depth grew without hits: %d -> %d", n3, n4)
+	}
+}
+
+func TestStrideNeverNegative(t *testing.T) {
+	p := NewStride(8)
+	p.OnAccess(1, 30, true, nil)
+	p.OnAccess(1, 20, true, nil)
+	got := p.OnAccess(1, 10, true, nil) // stride -10 confirmed
+	for _, c := range got {
+		if c < 0 {
+			t.Fatalf("negative candidate: %v", got)
+		}
+	}
+}
+
+func TestReadAheadAlignedBlock(t *testing.T) {
+	p := NewReadAhead(8)
+	p.OnPrefetchHit(1)
+	p.OnAccess(1, 100, true, nil)
+	got := p.OnAccess(1, 101, true, nil) // sequential pair
+	if len(got) == 0 {
+		t.Fatal("sequential pair produced no read-ahead")
+	}
+	// All candidates must lie in one aligned block containing 101 and
+	// exclude 101 itself.
+	for _, c := range got {
+		if c == 101 {
+			t.Fatalf("block includes the faulted page: %v", got)
+		}
+		if c/8 != 101/8 && c/4 != 101/4 && c/2 != 101/2 {
+			t.Fatalf("candidate %d not in an aligned block around 101: %v", c, got)
+		}
+	}
+}
+
+func TestReadAheadShrinksOnRandomButNeverStops(t *testing.T) {
+	p := NewReadAhead(8)
+	// Random faults decay the window to the 2-page minimum — the cluster
+	// read never fully turns off (Linux swapin behaviour).
+	n := 8
+	addrs := []PageID{90000, 16, 55554, 320, 77776, 1234, 999998}
+	for _, a := range addrs {
+		n = len(p.OnAccess(1, a, true, nil))
+	}
+	if n != 1 { // 2-page aligned block minus the faulted page
+		t.Fatalf("window did not decay to minimum (got %d candidates)", n)
+	}
+}
+
+func TestReadAheadRegrowsAfterDecay(t *testing.T) {
+	p := NewReadAhead(8)
+	for _, a := range []PageID{90000, 16, 55554, 320, 77776} {
+		p.OnAccess(1, a, true, nil)
+	}
+	small := len(p.OnAccess(1, 200, true, nil))
+	if small != 1 {
+		t.Fatalf("window not at minimum after random faults: %d candidates", small)
+	}
+	// A sequential pair alone holds the window; growth needs hits too.
+	p.OnPrefetchHit(1)
+	got := len(p.OnAccess(1, 201, true, nil))
+	if got <= small {
+		t.Fatalf("read-ahead did not regrow after a hit + sequential pair: %d -> %d", small, got)
+	}
+	// Further hits on consecutive faults double it toward the max.
+	p.OnPrefetchHit(1)
+	n1 := len(p.OnAccess(1, 202, true, nil))
+	p.OnPrefetchHit(1)
+	n2 := len(p.OnAccess(1, 203, true, nil))
+	if !(n1 <= n2 && n2 <= 7) {
+		t.Fatalf("hit-driven growth broken: %d, %d", n1, n2)
+	}
+}
+
+func TestLeapPerProcessIsolation(t *testing.T) {
+	p := NewLeap(core.Config{})
+	// Process 1: sequential. Process 2: interleaved random faults that would
+	// destroy a shared history.
+	seed := uint64(1)
+	for i := 0; i < 100; i++ {
+		p.OnAccess(1, PageID(i), true, nil)
+		seed = seed*6364136223846793005 + 1
+		p.OnAccess(2, PageID(seed%(1<<30)), true, nil)
+	}
+	got := p.OnAccess(1, 100, true, nil)
+	if len(got) == 0 || got[0] != 101 {
+		t.Fatalf("isolated predictor lost the sequential trend: %v", got)
+	}
+	stats := p.ProcessStats()
+	if len(stats) != 2 {
+		t.Fatalf("expected 2 per-process predictors, got %d", len(stats))
+	}
+	if stats[1].TrendHits == 0 {
+		t.Fatal("process 1 should have trend hits")
+	}
+}
+
+func TestLeapSharedModeCollapses(t *testing.T) {
+	p := NewLeap(core.Config{})
+	p.Shared = true
+	for i := 0; i < 50; i++ {
+		p.OnAccess(PID(i%5), PageID(i), true, nil)
+	}
+	if len(p.ProcessStats()) != 1 {
+		t.Fatal("shared mode must keep exactly one predictor")
+	}
+}
+
+func TestLeapHitFeedbackGrowsWindow(t *testing.T) {
+	p := NewLeap(core.Config{})
+	for i := 0; i < 40; i++ {
+		p.OnAccess(7, PageID(i), true, nil)
+	}
+	for k := 0; k < 8; k++ {
+		p.OnPrefetchHit(7)
+	}
+	got := p.OnAccess(7, 40, true, nil)
+	if len(got) != 8 {
+		t.Fatalf("window = %d after 8 hits, want 8", len(got))
+	}
+}
+
+func TestLeapReset(t *testing.T) {
+	p := NewLeap(core.Config{})
+	p.OnAccess(1, 1, true, nil)
+	p.Reset()
+	if len(p.ProcessStats()) != 0 {
+		t.Fatal("Reset kept predictors")
+	}
+}
+
+func TestAllPrefetchersNeverPredictNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		names := Names()
+		for _, name := range names {
+			p, err := New(name)
+			if err != nil {
+				return false
+			}
+			s := seed
+			for i := 0; i < 200; i++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				page := PageID(s % (1 << 20))
+				for _, c := range p.OnAccess(PID(s%3), page, true, nil) {
+					if c < 0 {
+						return false
+					}
+				}
+				if s%4 == 0 {
+					p.OnPrefetchHit(PID(s % 3))
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnAccessAppendContract(t *testing.T) {
+	// Property: OnAccess must append to dst, preserving its contents.
+	for _, name := range Names() {
+		p, _ := New(name)
+		// Warm up so adaptive prefetchers actually predict.
+		for i := 0; i < 30; i++ {
+			p.OnAccess(1, PageID(i), true, nil)
+			p.OnPrefetchHit(1)
+		}
+		dst := []PageID{424242}
+		out := p.OnAccess(1, 30, true, dst)
+		if out[0] != 424242 {
+			t.Errorf("%s: OnAccess clobbered dst", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package prefetch
+
+// Stride is the classic stride prefetcher [Baer & Chen '91] adapted to the
+// paging setting, matching the paper's baseline description: "brings pages
+// following a stride pattern relative to the current page upon a cache
+// miss; the aggressiveness depends on the accuracy of the past prefetch."
+//
+// With no program counter visible to the swap path, the stride is the
+// delta between the last two faults of the global stream. That makes the
+// predictor eager and error-prone on irregular streams — any two unrelated
+// faults define a "stride" — which is exactly why the paper's Figure 9/10
+// show it with the worst pollution, coverage, and completion time. Depth
+// adapts to prefetch-hit feedback: it doubles when the previous window was
+// used and halves when it was not.
+type Stride struct {
+	maxDepth int
+
+	lastAddr PageID
+	hasLast  bool
+	stride   int64
+
+	depth int
+	hits  int
+}
+
+// NewStride returns a stride prefetcher with the given maximum depth (the
+// evaluation uses 8).
+func NewStride(maxDepth int) *Stride {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	return &Stride{maxDepth: maxDepth, depth: 1}
+}
+
+// Name implements Prefetcher.
+func (p *Stride) Name() string { return "stride" }
+
+// OnAccess implements Prefetcher. Stride state tracks every access; fetches
+// trigger on misses.
+func (p *Stride) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
+	if !p.hasLast {
+		p.lastAddr, p.hasLast = page, true
+		return dst
+	}
+	s := int64(page) - int64(p.lastAddr)
+	p.lastAddr = page
+	p.stride = s
+	if !miss || s == 0 {
+		return dst
+	}
+
+	// Adapt depth to feedback since the last issue.
+	if p.hits > 0 {
+		p.depth *= 2
+		if p.depth > p.maxDepth {
+			p.depth = p.maxDepth
+		}
+	} else if p.depth > 1 {
+		p.depth /= 2
+	}
+	p.hits = 0
+
+	for k := 1; k <= p.depth; k++ {
+		c := page + PageID(int64(k)*p.stride)
+		if c < 0 {
+			break
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (p *Stride) OnPrefetchHit(PID) { p.hits++ }
+
+// Reset implements Prefetcher.
+func (p *Stride) Reset() {
+	*p = Stride{maxDepth: p.maxDepth, depth: 1}
+}

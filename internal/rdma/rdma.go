@@ -1,0 +1,103 @@
+// Package rdma models the RDMA fabric that carries remote-memory traffic: a
+// set of per-core dispatch queues (the paper's multi-queue I/O design, §4.4)
+// in front of a network with the paper's measured 4.3µs average 4KB-op
+// latency.
+//
+// Each queue serializes the wire occupancy of its operations, so a burst of
+// prefetches delays the demand fetch that shares the queue — the congestion
+// effect behind the paper's observation that Leap's adaptive throttling
+// "helps the most by not congesting the RDMA" (§5.3.3). Queues are chosen
+// per submitting core, mirroring the per-CPU-core RDMA connections of the
+// real system.
+package rdma
+
+import (
+	"leap/internal/metrics"
+	"leap/internal/sim"
+)
+
+// Config parameterizes the fabric.
+type Config struct {
+	// Queues is the number of per-core dispatch queues (default 8).
+	Queues int
+	// OpLatency is the unloaded one-op completion latency (default: normal
+	// around the paper's 4.3µs with modest jitter).
+	OpLatency sim.Dist
+	// ServiceTime is the per-op wire/NIC occupancy that serializes a queue
+	// (default 1µs ≈ a 4KB transfer plus doorbell on 56Gbps InfiniBand).
+	ServiceTime sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 8
+	}
+	if c.OpLatency == nil {
+		c.OpLatency = sim.Normal{Mu: 4300, Sigma: 600, Floor: 2500}
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 1 * sim.Microsecond
+	}
+	return c
+}
+
+// Fabric is the simulated RDMA network. Not safe for concurrent use.
+type Fabric struct {
+	cfg    Config
+	rng    *sim.RNG
+	freeAt []sim.Time // per-queue: when the queue next drains
+
+	// QueueDelay records time spent waiting for the dispatch queue — the
+	// congestion signal.
+	QueueDelay metrics.Histogram
+	ops        int64
+}
+
+// New returns a Fabric seeded deterministically.
+func New(cfg Config, rng *sim.RNG) *Fabric {
+	cfg = cfg.withDefaults()
+	return &Fabric{cfg: cfg, rng: rng, freeAt: make([]sim.Time, cfg.Queues)}
+}
+
+// Ops reports the total operations carried.
+func (f *Fabric) Ops() int64 { return f.ops }
+
+// Queues reports the configured queue count.
+func (f *Fabric) Queues() int { return f.cfg.Queues }
+
+// Submit enqueues one 4KB operation on core's dispatch queue at time now and
+// returns the completion time. The op waits for the queue to drain, occupies
+// it for the service time, and completes after the network latency.
+func (f *Fabric) Submit(core int, now sim.Time) (done sim.Time) {
+	q := core % len(f.freeAt)
+	start := now
+	if f.freeAt[q] > start {
+		start = f.freeAt[q]
+	}
+	f.QueueDelay.Observe(start.Sub(now))
+	f.freeAt[q] = start.Add(f.cfg.ServiceTime)
+	f.ops++
+	return start.Add(f.cfg.OpLatency.Sample(f.rng))
+}
+
+// SubmitAsync books queue occupancy for a background operation (prefetch or
+// writeback) without a waiting requester; the returned time is when the data
+// lands.
+func (f *Fabric) SubmitAsync(core int, now sim.Time) (done sim.Time) {
+	return f.Submit(core, now)
+}
+
+// Utilization reports the fraction of queues still busy at time now — a
+// coarse congestion probe used by tests.
+func (f *Fabric) Utilization(now sim.Time) float64 {
+	busy := 0
+	for _, t := range f.freeAt {
+		if t > now {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(f.freeAt))
+}
+
+// MeanOpLatency reports the configured unloaded mean op latency.
+func (f *Fabric) MeanOpLatency() sim.Duration { return f.cfg.OpLatency.Mean() }

@@ -1,0 +1,144 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+)
+
+// Agent is a remote-memory server: it donates memory as slabs and serves
+// page reads/writes against them. Safe for concurrent use.
+type Agent struct {
+	mu        sync.Mutex
+	slabPages int
+	maxSlabs  int
+	slabs     map[SlabID][]byte
+
+	// Counters (read under mu).
+	reads, writes int64
+}
+
+// NewAgent returns an agent donating maxSlabs slabs of slabPages pages
+// each. maxSlabs <= 0 means unlimited.
+func NewAgent(slabPages, maxSlabs int) *Agent {
+	if slabPages <= 0 {
+		slabPages = DefaultSlabPages
+	}
+	return &Agent{
+		slabPages: slabPages,
+		maxSlabs:  maxSlabs,
+		slabs:     make(map[SlabID][]byte),
+	}
+}
+
+// SlabPages reports the slab granularity.
+func (a *Agent) SlabPages() int { return a.slabPages }
+
+// SlabCount reports the number of mapped slabs.
+func (a *Agent) SlabCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.slabs)
+}
+
+// Ops reports cumulative (reads, writes).
+func (a *Agent) Ops() (reads, writes int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reads, a.writes
+}
+
+// Handle processes one request and returns the response. This is the
+// transport-independent core used by both the in-process transport and the
+// TCP server loop.
+func (a *Agent) Handle(req *Request) *Response {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch req.Op {
+	case OpPing:
+		return &Response{Status: StatusOK}
+
+	case OpMapSlab:
+		if _, ok := a.slabs[req.Slab]; ok {
+			return &Response{Status: StatusOK} // idempotent
+		}
+		if a.maxSlabs > 0 && len(a.slabs) >= a.maxSlabs {
+			return &Response{Status: StatusNoSpace}
+		}
+		a.slabs[req.Slab] = make([]byte, a.slabPages*PageSize)
+		return &Response{Status: StatusOK}
+
+	case OpFreeSlab:
+		delete(a.slabs, req.Slab)
+		return &Response{Status: StatusOK}
+
+	case OpRead:
+		slab, ok := a.slabs[req.Slab]
+		if !ok {
+			return &Response{Status: StatusBadSlab}
+		}
+		off := int(req.PageOff) * PageSize
+		if off+PageSize > len(slab) {
+			return &Response{Status: StatusBadBound}
+		}
+		a.reads++
+		page := make([]byte, PageSize)
+		copy(page, slab[off:off+PageSize])
+		return &Response{Status: StatusOK, Payload: page}
+
+	case OpWrite:
+		slab, ok := a.slabs[req.Slab]
+		if !ok {
+			return &Response{Status: StatusBadSlab}
+		}
+		if len(req.Payload) != PageSize {
+			return &Response{Status: StatusBadBound}
+		}
+		off := int(req.PageOff) * PageSize
+		if off+PageSize > len(slab) {
+			return &Response{Status: StatusBadBound}
+		}
+		a.writes++
+		copy(slab[off:off+PageSize], req.Payload)
+		return &Response{Status: StatusOK}
+
+	case OpStats:
+		payload := make([]byte, 8)
+		binary.LittleEndian.PutUint32(payload[0:4], uint32(len(a.slabs)))
+		binary.LittleEndian.PutUint32(payload[4:8], uint32(a.maxSlabs))
+		return &Response{Status: StatusOK, Payload: payload}
+
+	default:
+		return &Response{Status: StatusBadOp}
+	}
+}
+
+// Serve accepts connections on l and serves the wire protocol until l is
+// closed. Each connection gets its own goroutine; requests within a
+// connection are processed in order (the host pipelines at most one request
+// per connection).
+func (a *Agent) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("remote: accept: %w", err)
+		}
+		go a.serveConn(conn)
+	}
+}
+
+func (a *Agent) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := DecodeRequest(conn)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		if err := EncodeResponse(conn, a.Handle(req)); err != nil {
+			log.Printf("remote: agent response write: %v", err)
+			return
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package remote
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the request decoder with arbitrary bytes: it
+// must never panic or over-allocate, only return errors.
+func FuzzDecodeRequest(f *testing.F) {
+	// Seed with a valid request.
+	var buf bytes.Buffer
+	_ = EncodeRequest(&buf, &Request{Op: OpWrite, Slab: 7, PageOff: 3, Payload: make([]byte, PageSize)})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{protoMagic})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode identically.
+		var out bytes.Buffer
+		if err := EncodeRequest(&out, req); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeRequest(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Op != req.Op || again.Slab != req.Slab || again.PageOff != req.PageOff ||
+			!bytes.Equal(again.Payload, req.Payload) {
+			t.Fatal("request round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeResponse mirrors FuzzDecodeRequest for responses.
+func FuzzDecodeResponse(f *testing.F) {
+	var buf bytes.Buffer
+	_ = EncodeResponse(&buf, &Response{Status: StatusOK, Payload: make([]byte, PageSize)})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{protoMagic}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeResponse(&out, resp); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeResponse(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Status != resp.Status || !bytes.Equal(again.Payload, resp.Payload) {
+			t.Fatal("response round trip diverged")
+		}
+	})
+}
+
+// FuzzAgentHandle feeds arbitrary requests to an agent: every request must
+// produce a response without panicking, and the agent must stay within its
+// slab budget.
+func FuzzAgentHandle(f *testing.F) {
+	f.Add(uint8(OpMapSlab), uint64(1), uint32(0), []byte{})
+	f.Add(uint8(OpWrite), uint64(2), uint32(3), make([]byte, PageSize))
+	f.Add(uint8(99), uint64(0), uint32(0), []byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, op uint8, slab uint64, off uint32, payload []byte) {
+		if len(payload) > PageSize {
+			payload = payload[:PageSize]
+		}
+		a := NewAgent(8, 4)
+		resp := a.Handle(&Request{Op: op, Slab: SlabID(slab), PageOff: off, Payload: payload})
+		if resp == nil {
+			t.Fatal("nil response")
+		}
+		if a.SlabCount() > 4 {
+			t.Fatalf("agent exceeded slab budget: %d", a.SlabCount())
+		}
+	})
+}

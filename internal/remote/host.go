@@ -1,0 +1,282 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+
+	"leap/internal/core"
+	"leap/internal/sim"
+)
+
+// HostConfig parameterizes a Host.
+type HostConfig struct {
+	// SlabPages is the slab granularity in pages (default DefaultSlabPages).
+	SlabPages int
+	// Replicas is the number of copies per slab (default 2, the paper's
+	// remote in-memory replication).
+	Replicas int
+	// Seed drives placement decisions deterministically.
+	Seed uint64
+}
+
+func (c HostConfig) withDefaults() HostConfig {
+	if c.SlabPages <= 0 {
+		c.SlabPages = DefaultSlabPages
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	return c
+}
+
+// HostStats counts host-side remote-memory activity.
+type HostStats struct {
+	Reads, Writes int64
+	// Failovers counts reads served by a replica after the primary failed.
+	Failovers int64
+	// SlabsMapped counts slab placements performed.
+	SlabsMapped int64
+	// Repairs counts slabs re-replicated after agent failures.
+	Repairs int64
+}
+
+// Host is the machine-local agent of §4.4: it maps the swap address space
+// onto remote slabs, placing each slab with power-of-two-choices across
+// agents and replicating it for fault tolerance. Safe for concurrent use.
+type Host struct {
+	cfg HostConfig
+
+	mu         sync.Mutex
+	rng        *sim.RNG
+	transports []Transport
+	slabLoad   []int            // slabs placed per agent
+	placements map[SlabID][]int // slab → agent indices, primary first
+	failed     map[int]bool     // agents marked dead (excluded from placement)
+	// acked records, per page, the agent indices that acknowledged its most
+	// recent write. A transiently failed replica write leaves that copy
+	// stale; reads must prefer acked replicas or they break
+	// read-your-writes (divergent replicas).
+	acked map[core.PageID][]int
+	stats HostStats
+}
+
+// NewHost returns a host over the given agent transports. At least
+// max(1, Replicas) transports are required.
+func NewHost(cfg HostConfig, transports []Transport) (*Host, error) {
+	cfg = cfg.withDefaults()
+	if len(transports) == 0 {
+		return nil, fmt.Errorf("remote: host needs at least one agent")
+	}
+	if cfg.Replicas > len(transports) {
+		cfg.Replicas = len(transports)
+	}
+	return &Host{
+		cfg:        cfg,
+		rng:        sim.NewRNG(cfg.Seed),
+		transports: transports,
+		slabLoad:   make([]int, len(transports)),
+		placements: make(map[SlabID][]int),
+		acked:      make(map[core.PageID][]int),
+	}, nil
+}
+
+// Stats reports a copy of the counters.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// SlabLoad reports slabs placed per agent (for balance inspection).
+func (h *Host) SlabLoad() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, len(h.slabLoad))
+	copy(out, h.slabLoad)
+	return out
+}
+
+// locate maps a page to its slab and intra-slab offset.
+func (h *Host) locate(page core.PageID) (SlabID, uint32) {
+	return SlabID(int64(page) / int64(h.cfg.SlabPages)),
+		uint32(int64(page) % int64(h.cfg.SlabPages))
+}
+
+// pickTwoChoices returns the index of the less-loaded of two distinct
+// random agents not present in exclude.
+func (h *Host) pickTwoChoices(exclude map[int]bool) int {
+	n := len(h.transports)
+	candidates := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !exclude[i] && !h.failed[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	a := candidates[h.rng.Intn(len(candidates))]
+	b := candidates[h.rng.Intn(len(candidates))]
+	for b == a {
+		b = candidates[h.rng.Intn(len(candidates))]
+	}
+	if h.slabLoad[b] < h.slabLoad[a] {
+		return b
+	}
+	return a
+}
+
+// placement returns (mapping if needed) the replica set for slab. Callers
+// hold h.mu.
+func (h *Host) placement(slab SlabID) ([]int, error) {
+	if p, ok := h.placements[slab]; ok {
+		return p, nil
+	}
+	exclude := make(map[int]bool, h.cfg.Replicas)
+	replicas := make([]int, 0, h.cfg.Replicas)
+	for len(replicas) < h.cfg.Replicas {
+		idx := h.pickTwoChoices(exclude)
+		if idx < 0 {
+			break
+		}
+		resp, err := h.transports[idx].Call(&Request{Op: OpMapSlab, Slab: slab})
+		if err == nil && resp.Status == StatusOK {
+			replicas = append(replicas, idx)
+			h.slabLoad[idx]++
+		}
+		exclude[idx] = true
+		if len(exclude) == len(h.transports) {
+			break
+		}
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("remote: no agent could map slab %d", slab)
+	}
+	h.placements[slab] = replicas
+	h.stats.SlabsMapped++
+	return replicas, nil
+}
+
+// WritePage stores one page (len(data) must be PageSize) on every replica.
+// It fails only when no replica accepts the write.
+func (h *Host) WritePage(page core.PageID, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("remote: WritePage with %d bytes, want %d", len(data), PageSize)
+	}
+	slab, off := h.locate(page)
+
+	h.mu.Lock()
+	replicas, err := h.placement(slab)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	transports := make([]Transport, len(replicas))
+	for i, idx := range replicas {
+		transports[i] = h.transports[idx]
+	}
+	h.stats.Writes++
+	h.mu.Unlock()
+
+	ackedIdx := make([]int, 0, len(replicas))
+	var lastErr error
+	for i, tr := range transports {
+		resp, err := tr.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: data})
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.Status != StatusOK:
+			lastErr = statusError(OpWrite, resp.Status)
+		default:
+			ackedIdx = append(ackedIdx, replicas[i])
+		}
+	}
+	if len(ackedIdx) == 0 {
+		return fmt.Errorf("remote: write page %d failed on all replicas: %w", page, lastErr)
+	}
+	h.mu.Lock()
+	h.acked[page] = ackedIdx
+	h.mu.Unlock()
+	return nil
+}
+
+// ReadPage fetches one page into buf (len PageSize), trying the primary
+// first and failing over to replicas.
+func (h *Host) ReadPage(page core.PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("remote: ReadPage with %d-byte buffer, want %d", len(buf), PageSize)
+	}
+	slab, off := h.locate(page)
+
+	h.mu.Lock()
+	replicas, ok := h.placements[slab]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("remote: read of never-written page %d", page)
+	}
+	// Order the attempt list so replicas that acknowledged this page's most
+	// recent write come first: a replica that missed a write (transient
+	// fault) holds stale bytes and must only be a last resort.
+	ackedIdx := h.acked[page]
+	order := make([]int, 0, len(replicas))
+	for _, idx := range replicas {
+		for _, a := range ackedIdx {
+			if idx == a {
+				order = append(order, idx)
+				break
+			}
+		}
+	}
+	for _, idx := range replicas {
+		seen := false
+		for _, o := range order {
+			if o == idx {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			order = append(order, idx)
+		}
+	}
+	transports := make([]Transport, len(order))
+	for i, idx := range order {
+		transports[i] = h.transports[idx]
+	}
+	h.stats.Reads++
+	h.mu.Unlock()
+
+	var lastErr error
+	for i, tr := range transports {
+		resp, err := tr.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.Status != StatusOK:
+			lastErr = statusError(OpRead, resp.Status)
+		default:
+			if i > 0 {
+				h.mu.Lock()
+				h.stats.Failovers++
+				h.mu.Unlock()
+			}
+			copy(buf, resp.Payload)
+			return nil
+		}
+	}
+	return fmt.Errorf("remote: read page %d failed on all replicas: %w", page, lastErr)
+}
+
+// Close closes all transports.
+func (h *Host) Close() error {
+	var first error
+	for _, tr := range h.transports {
+		if err := tr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,183 @@
+// Package remote implements the remote-memory substrate of §4.4–4.5: a host
+// agent that maps fixed-size memory slabs onto one or more remote agents,
+// with power-of-two-choices placement for load balance and two-way
+// replication for fault tolerance.
+//
+// Unlike the latency *models* elsewhere in this repository, this package
+// moves real bytes: agents hold slab contents in memory, and the host reads
+// and writes 4KB pages through a Transport. Two transports exist — an
+// in-process one for unit tests and simulations, and a TCP one (binary
+// framed protocol, stdlib net) used by cmd/leapagent and the remoteswap
+// example to exercise an actual network path.
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PageSize is the fixed page size, matching the paper's 4KB unit.
+const PageSize = 4096
+
+// DefaultSlabPages is the default slab granularity (pages per slab). The
+// real Infiniswap uses 1GB slabs; tests and examples use smaller ones, so
+// this is configurable on the Host.
+const DefaultSlabPages = 4096 // 16MB
+
+// SlabID names a slab within the cluster-wide remote memory pool. It is
+// 64-bit on the wire: hosts namespace pages per process in the high bits,
+// so slab numbers exceed 32 bits even at moderate slab sizes.
+type SlabID uint64
+
+// Op codes of the wire protocol.
+const (
+	OpMapSlab  uint8 = 1 // allocate a slab on the agent
+	OpFreeSlab uint8 = 2 // release a slab
+	OpRead     uint8 = 3 // read one page
+	OpWrite    uint8 = 4 // write one page
+	OpPing     uint8 = 5 // liveness probe
+	OpStats    uint8 = 6 // slab count + capacity
+)
+
+// Status codes of the wire protocol.
+const (
+	StatusOK       uint8 = 0
+	StatusNoSpace  uint8 = 1
+	StatusBadSlab  uint8 = 2
+	StatusBadOp    uint8 = 3
+	StatusBadBound uint8 = 4
+)
+
+const protoMagic uint8 = 0x4C // 'L'
+
+// Request is one protocol request. Payload is only used by OpWrite and must
+// be exactly PageSize bytes there.
+type Request struct {
+	Op      uint8
+	Slab    SlabID
+	PageOff uint32 // page index within the slab
+	Payload []byte
+}
+
+// Response is one protocol response. Payload carries page data for OpRead
+// and two little-endian uint32s (used, capacity) for OpStats.
+type Response struct {
+	Status  uint8
+	Payload []byte
+}
+
+// reqHeaderSize is magic+op+slab+pageoff+payloadlen.
+const reqHeaderSize = 1 + 1 + 8 + 4 + 4
+
+// respHeaderSize is magic+status+payloadlen.
+const respHeaderSize = 1 + 1 + 4
+
+// EncodeRequest writes r to w in wire format.
+func EncodeRequest(w io.Writer, r *Request) error {
+	var hdr [reqHeaderSize]byte
+	hdr[0] = protoMagic
+	hdr[1] = r.Op
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(r.Slab))
+	binary.LittleEndian.PutUint32(hdr[10:14], r.PageOff)
+	binary.LittleEndian.PutUint32(hdr[14:18], uint32(len(r.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("remote: write request header: %w", err)
+	}
+	if len(r.Payload) > 0 {
+		if _, err := w.Write(r.Payload); err != nil {
+			return fmt.Errorf("remote: write request payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeRequest reads one request from r. The payload buffer is freshly
+// allocated per call; agents reuse requests infrequently enough that this
+// simplicity wins.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	var hdr [reqHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF propagates cleanly for connection close
+	}
+	if hdr[0] != protoMagic {
+		return nil, fmt.Errorf("remote: bad magic 0x%02x", hdr[0])
+	}
+	req := &Request{
+		Op:      hdr[1],
+		Slab:    SlabID(binary.LittleEndian.Uint64(hdr[2:10])),
+		PageOff: binary.LittleEndian.Uint32(hdr[10:14]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[14:18])
+	if n > PageSize {
+		return nil, fmt.Errorf("remote: oversized payload %d", n)
+	}
+	if n > 0 {
+		req.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, req.Payload); err != nil {
+			return nil, fmt.Errorf("remote: read payload: %w", err)
+		}
+	}
+	return req, nil
+}
+
+// EncodeResponse writes resp to w in wire format.
+func EncodeResponse(w io.Writer, resp *Response) error {
+	var hdr [respHeaderSize]byte
+	hdr[0] = protoMagic
+	hdr[1] = resp.Status
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(resp.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("remote: write response header: %w", err)
+	}
+	if len(resp.Payload) > 0 {
+		if _, err := w.Write(resp.Payload); err != nil {
+			return fmt.Errorf("remote: write response payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeResponse reads one response from r.
+func DecodeResponse(r io.Reader) (*Response, error) {
+	var hdr [respHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != protoMagic {
+		return nil, fmt.Errorf("remote: bad magic 0x%02x", hdr[0])
+	}
+	resp := &Response{Status: hdr[1]}
+	n := binary.LittleEndian.Uint32(hdr[2:6])
+	if n > PageSize {
+		return nil, fmt.Errorf("remote: oversized payload %d", n)
+	}
+	if n > 0 {
+		resp.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, resp.Payload); err != nil {
+			return nil, fmt.Errorf("remote: read payload: %w", err)
+		}
+	}
+	return resp, nil
+}
+
+// statusError converts a non-OK status into an error.
+func statusError(op uint8, status uint8) error {
+	if status == StatusOK {
+		return nil
+	}
+	var what string
+	switch status {
+	case StatusNoSpace:
+		what = "no space"
+	case StatusBadSlab:
+		what = "unknown slab"
+	case StatusBadOp:
+		what = "bad op"
+	case StatusBadBound:
+		what = "offset out of bounds"
+	default:
+		what = fmt.Sprintf("status %d", status)
+	}
+	return fmt.Errorf("remote: op %d failed: %s", op, what)
+}

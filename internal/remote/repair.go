@@ -1,0 +1,170 @@
+package remote
+
+import (
+	"fmt"
+
+	"leap/internal/core"
+)
+
+// MarkFailed records that the agent at index idx is considered dead: it is
+// excluded from future placements. Existing placements keep the index so
+// reads keep failing over; call RepairSlabs to restore the replication
+// factor.
+func (h *Host) MarkFailed(idx int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx < 0 || idx >= len(h.transports) {
+		return fmt.Errorf("remote: MarkFailed(%d) out of range", idx)
+	}
+	if h.failed == nil {
+		h.failed = make(map[int]bool)
+	}
+	h.failed[idx] = true
+	return nil
+}
+
+// FailedAgents reports the indices currently marked failed, sorted.
+func (h *Host) FailedAgents() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.failed))
+	for i := range h.failed {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// RepairSlabs restores the configured replication factor for every slab
+// that lost replicas to failed agents: each affected slab is re-placed on a
+// healthy agent (power-of-two-choices among the survivors) and its contents
+// copied from a surviving replica, page by page. It returns the number of
+// slabs repaired.
+//
+// This is the §4.5 re-replication path: after RepairSlabs, the failure of
+// the *other* original replica no longer loses data.
+func (h *Host) RepairSlabs() (int, error) {
+	h.mu.Lock()
+	// Snapshot the work under the lock; copying happens outside it.
+	type job struct {
+		slab      SlabID
+		survivors []int
+	}
+	var jobs []job
+	for slab, replicas := range h.placements {
+		alive := make([]int, 0, len(replicas))
+		for _, idx := range replicas {
+			if !h.failed[idx] {
+				alive = append(alive, idx)
+			}
+		}
+		if len(alive) < len(replicas) && len(alive) > 0 {
+			jobs = append(jobs, job{slab: slab, survivors: alive})
+		}
+	}
+	h.mu.Unlock()
+
+	repaired := 0
+	for _, j := range jobs {
+		if err := h.repairOne(j.slab, j.survivors); err != nil {
+			return repaired, err
+		}
+		repaired++
+	}
+	return repaired, nil
+}
+
+// repairOne restores one slab's replica set.
+func (h *Host) repairOne(slab SlabID, survivors []int) error {
+	h.mu.Lock()
+	// Choose a healthy agent not already holding the slab.
+	exclude := make(map[int]bool, len(survivors)+len(h.failed))
+	for _, idx := range survivors {
+		exclude[idx] = true
+	}
+	for idx := range h.failed {
+		exclude[idx] = true
+	}
+	target := h.pickTwoChoices(exclude)
+	if target < 0 {
+		h.mu.Unlock()
+		return fmt.Errorf("remote: no healthy agent available to repair slab %d", slab)
+	}
+	dst := h.transports[target]
+	h.mu.Unlock()
+
+	if resp, err := dst.Call(&Request{Op: OpMapSlab, Slab: slab}); err != nil {
+		return fmt.Errorf("remote: repair map slab %d: %w", slab, err)
+	} else if resp.Status != StatusOK {
+		return statusError(OpMapSlab, resp.Status)
+	}
+	// Copy every page from a surviving replica, preferring one that
+	// acknowledged the page's most recent write (a survivor that missed a
+	// write holds stale bytes). Unwritten pages copy as zeros, which is
+	// exactly their state on the source.
+	for off := uint32(0); off < uint32(h.cfg.SlabPages); off++ {
+		page := core.PageID(int64(slab)*int64(h.cfg.SlabPages) + int64(off))
+		h.mu.Lock()
+		srcIdx := survivors[0]
+		for _, s := range survivors {
+			for _, a := range h.acked[page] {
+				if s == a {
+					srcIdx = s
+					break
+				}
+			}
+		}
+		src := h.transports[srcIdx]
+		h.mu.Unlock()
+
+		rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+		if err != nil {
+			return fmt.Errorf("remote: repair read slab %d off %d: %w", slab, off, err)
+		}
+		if rd.Status != StatusOK {
+			return statusError(OpRead, rd.Status)
+		}
+		wr, err := dst.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: rd.Payload})
+		if err != nil {
+			return fmt.Errorf("remote: repair write slab %d off %d: %w", slab, off, err)
+		}
+		if wr.Status != StatusOK {
+			return statusError(OpWrite, wr.Status)
+		}
+		// The repaired copy now carries the freshest bytes we could find.
+		h.mu.Lock()
+		if acked, ok := h.acked[page]; ok {
+			h.acked[page] = append(acked, target)
+		}
+		h.mu.Unlock()
+	}
+
+	h.mu.Lock()
+	// Install the new replica set: survivors plus the repaired copy.
+	newSet := append(append([]int{}, survivors...), target)
+	h.placements[slab] = newSet
+	h.slabLoad[target]++
+	h.stats.Repairs++
+	h.mu.Unlock()
+	return nil
+}
+
+// PageCount is a helper for tests: it reports how many distinct pages map
+// to slab under the current configuration (always SlabPages).
+func (h *Host) PageCount(slab SlabID) int64 {
+	return int64(h.cfg.SlabPages)
+}
+
+// SlabOf reports which slab a page belongs to.
+func (h *Host) SlabOf(page core.PageID) SlabID {
+	s, _ := h.locate(page)
+	return s
+}

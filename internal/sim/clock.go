@@ -1,0 +1,85 @@
+// Package sim provides the deterministic simulation primitives used by every
+// other package in this repository: a virtual clock, a seedable fast RNG, and
+// latency distributions with reproducible jitter.
+//
+// Nothing in this package (or anything built on it) sleeps or reads wall-clock
+// time. All experiments advance a virtual clock measured in nanoseconds, so a
+// run is a pure function of its configuration and seed.
+package sim
+
+import "fmt"
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration's unit so values print naturally, but it is a distinct type:
+// virtual time must never be mixed with wall-clock time.
+type Duration int64
+
+// Common virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Microseconds reports d as a floating-point count of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds reports d as a floating-point count of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports d as a floating-point count of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration with an adaptive unit, e.g. "4.30µs".
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return fmt.Sprintf("-%s", (-d).String())
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fµs", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.2fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Time is an instant of virtual time, nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Clock is a monotonically advancing virtual clock. The zero value is a clock
+// at time zero, ready to use.
+type Clock struct {
+	now Time
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// virtual time is monotone.
+func (c *Clock) Advance(d Duration) Time {
+	if d > 0 {
+		c.now += Time(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; a clock never
+// moves backwards.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}

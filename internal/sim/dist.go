@@ -1,0 +1,112 @@
+package sim
+
+import "math"
+
+// A Dist produces virtual-time latency samples. Implementations must be
+// deterministic functions of the RNG stream they are given.
+type Dist interface {
+	// Sample draws one latency. Results are always >= 0.
+	Sample(r *RNG) Duration
+	// Mean reports the distribution's expected value.
+	Mean() Duration
+}
+
+// Fixed is a degenerate distribution: every sample equals Value.
+type Fixed struct {
+	Value Duration
+}
+
+// Sample implements Dist.
+func (f Fixed) Sample(*RNG) Duration { return f.Value }
+
+// Mean implements Dist.
+func (f Fixed) Mean() Duration { return f.Value }
+
+// Uniform samples uniformly in [Min, Max].
+type Uniform struct {
+	Min, Max Duration
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() Duration { return (u.Min + u.Max) / 2 }
+
+// Normal samples a truncated normal: values below Floor are clamped. It
+// models stages with symmetric jitter (e.g. dispatch).
+type Normal struct {
+	Mu    Duration
+	Sigma Duration
+	Floor Duration
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *RNG) Duration {
+	v := Duration(float64(n.Mu) + float64(n.Sigma)*r.NormFloat64())
+	if v < n.Floor {
+		v = n.Floor
+	}
+	return v
+}
+
+// Mean implements Dist. The truncation bias is negligible for the
+// parameterizations used here (Mu >> Sigma), so Mu is reported.
+func (n Normal) Mean() Duration { return n.Mu }
+
+// LogNormal samples a log-normal distribution parameterized by its desired
+// mean and a shape sigma (the sigma of the underlying normal). Heavy-tailed
+// kernel stages — request-queue staging and batching in particular — are
+// modeled with this: most samples land near the median with occasional large
+// excursions, which is exactly the behaviour the paper blames for the default
+// data path's tail latency.
+type LogNormal struct {
+	// MeanVal is the distribution's mean E[X].
+	MeanVal Duration
+	// Sigma is the underlying normal's standard deviation; larger values give
+	// heavier tails. Typical kernel-stage modeling uses 0.5–1.2.
+	Sigma float64
+	// Floor clamps the minimum sample.
+	Floor Duration
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *RNG) Duration {
+	if l.MeanVal <= 0 {
+		return l.Floor
+	}
+	// For LogNormal(mu, sigma), E[X] = exp(mu + sigma^2/2); solve for mu.
+	mu := math.Log(float64(l.MeanVal)) - l.Sigma*l.Sigma/2
+	v := Duration(math.Exp(mu + l.Sigma*r.NormFloat64()))
+	if v < l.Floor {
+		v = l.Floor
+	}
+	return v
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() Duration { return l.MeanVal }
+
+// Exponential samples an exponential distribution with the given mean,
+// clamped below at Floor.
+type Exponential struct {
+	MeanVal Duration
+	Floor   Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) Duration {
+	v := Duration(float64(e.MeanVal) * r.ExpFloat64())
+	if v < e.Floor {
+		v = e.Floor
+	}
+	return v
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() Duration { return e.MeanVal }

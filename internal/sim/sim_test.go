@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * Microsecond)
+	if got := c.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("Now() = %d, want %d", got, 5*Microsecond)
+	}
+	c.Advance(3 * Nanosecond)
+	if got := c.Now(); got != Time(5*Microsecond+3) {
+		t.Fatalf("Now() = %d, want %d", got, 5*Microsecond+3)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(-5)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("Now() = %d, want 10 (negative advance must be ignored)", got)
+	}
+}
+
+func TestClockAdvanceToMonotone(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(100)
+	c.AdvanceTo(50) // must not go backwards
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %d, want 100", got)
+	}
+	c.AdvanceTo(150)
+	if got := c.Now(); got != 150 {
+		t.Fatalf("Now() = %d, want 150", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(10)
+	t1 := t0.Add(5 * Nanosecond)
+	if t1 != 15 {
+		t.Fatalf("Add = %d, want 15", t1)
+	}
+	if d := t1.Sub(t0); d != 5 {
+		t.Fatalf("Sub = %d, want 5", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{4300 * Nanosecond, "4.30µs"},
+		{20 * Microsecond, "20.00µs"},
+		{5 * Millisecond, "5.00ms"},
+		{2 * Second, "2.00s"},
+		{-500 * Nanosecond, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if got := d.Microseconds(); got != 1500 {
+		t.Errorf("Microseconds = %v, want 1500", got)
+	}
+	if got := d.Milliseconds(); got != 1.5 {
+		t.Errorf("Milliseconds = %v, want 1.5", got)
+	}
+	if got := d.Seconds(); got != 0.0015 {
+		t.Errorf("Seconds = %v, want 0.0015", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiverge(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	f1 := r.Fork(1)
+	// Re-derive with the same state: must replay.
+	r2 := NewRNG(7)
+	f2 := r2.Fork(1)
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatalf("fork not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64MeanRoughlyHalf(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(29)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle changed multiset; sum = %d, want 36", sum)
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	d := Fixed{Value: 42}
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(r); got != 42 {
+			t.Fatalf("Fixed.Sample = %d, want 42", got)
+		}
+	}
+	if d.Mean() != 42 {
+		t.Fatalf("Fixed.Mean = %d, want 42", d.Mean())
+	}
+}
+
+func TestUniformDistBounds(t *testing.T) {
+	d := Uniform{Min: 10, Max: 20}
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 10 || v > 20 {
+			t.Fatalf("Uniform sample %d out of [10,20]", v)
+		}
+	}
+	if d.Mean() != 15 {
+		t.Fatalf("Uniform.Mean = %d, want 15", d.Mean())
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	d := Uniform{Min: 10, Max: 10}
+	if got := d.Sample(NewRNG(1)); got != 10 {
+		t.Fatalf("degenerate Uniform sample = %d, want 10", got)
+	}
+}
+
+func TestNormalDistFloorAndMean(t *testing.T) {
+	d := Normal{Mu: 1000, Sigma: 200, Floor: 1}
+	r := NewRNG(31)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v < 1 {
+			t.Fatalf("Normal sample %d below floor", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000) > 10 {
+		t.Fatalf("Normal empirical mean = %v, want ~1000", mean)
+	}
+}
+
+func TestLogNormalMeanAndTail(t *testing.T) {
+	d := LogNormal{MeanVal: 10000, Sigma: 1.0, Floor: 1}
+	r := NewRNG(37)
+	var sum float64
+	maxV := Duration(0)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		sum += float64(v)
+		if v > maxV {
+			maxV = v
+		}
+	}
+	mean := sum / n
+	if math.Abs(mean-10000)/10000 > 0.05 {
+		t.Fatalf("LogNormal empirical mean = %v, want ~10000", mean)
+	}
+	// Heavy tail: the max should far exceed the mean.
+	if float64(maxV) < 5*mean {
+		t.Fatalf("LogNormal tail too light: max %v vs mean %v", maxV, mean)
+	}
+}
+
+func TestExponentialDistMean(t *testing.T) {
+	d := Exponential{MeanVal: 5000, Floor: 0}
+	r := NewRNG(41)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	mean := sum / n
+	if math.Abs(mean-5000)/5000 > 0.05 {
+		t.Fatalf("Exponential empirical mean = %v, want ~5000", mean)
+	}
+}
+
+func TestDistSamplesNonNegativeProperty(t *testing.T) {
+	// Property: all distributions produce non-negative samples for arbitrary
+	// seeds.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		dists := []Dist{
+			Fixed{Value: 5},
+			Uniform{Min: 0, Max: 100},
+			Normal{Mu: 50, Sigma: 100, Floor: 0},
+			LogNormal{MeanVal: 100, Sigma: 1.5, Floor: 0},
+			Exponential{MeanVal: 100},
+		}
+		for _, d := range dists {
+			for i := 0; i < 50; i++ {
+				if d.Sample(r) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64Uniformity(t *testing.T) {
+	// Chi-square-ish sanity check on low byte distribution.
+	r := NewRNG(101)
+	var buckets [256]int
+	const n = 256 * 1000
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()&0xff]++
+	}
+	for b, c := range buckets {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bucket %d has count %d, expected ~1000", b, c)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// gzipMagic is the two-byte gzip header.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// OpenReader returns a Reader over r, transparently decompressing gzip
+// input (detected by magic bytes). Plain traces pass through untouched.
+func OpenReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("trace: peek header: %w", err)
+	}
+	if head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: open gzip: %w", err)
+		}
+		return NewReader(gz), nil
+	}
+	return NewReader(br), nil
+}
+
+// ReadAllAuto slurps a trace with transparent gzip detection.
+func ReadAllAuto(r io.Reader) ([]Record, error) {
+	tr, err := OpenReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// CompressedWriter wraps a Writer whose output is gzip-compressed. Close
+// flushes both the trace and the gzip stream.
+type CompressedWriter struct {
+	*Writer
+	gz *gzip.Writer
+}
+
+// NewCompressedWriter returns a gzip-compressed trace writer over w.
+func NewCompressedWriter(w io.Writer) *CompressedWriter {
+	gz := gzip.NewWriter(w)
+	return &CompressedWriter{Writer: NewWriter(gz), gz: gz}
+}
+
+// Close flushes the trace and terminates the gzip stream. The underlying
+// file is not closed.
+func (cw *CompressedWriter) Close() error {
+	if err := cw.Writer.Flush(); err != nil {
+		return err
+	}
+	return cw.gz.Close()
+}

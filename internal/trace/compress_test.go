@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"leap/internal/workload"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCompressedWriter(&buf)
+	want := []Record{
+		{PID: 1, Page: 100, Think: 500},
+		{PID: 1, Page: 101, Think: 480},
+		{PID: 3, Page: 77, Think: 9},
+	}
+	for _, r := range want {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAutoDetectPlain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Capture(&buf, workload.NewSequential(100, 1), 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("plain auto-read got %d records", len(got))
+	}
+}
+
+func TestCompressionShrinksRepetitiveTraces(t *testing.T) {
+	var plain, compressed bytes.Buffer
+	gen := workload.NewSequential(1000, 3)
+	if err := Capture(&plain, gen, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	cw := NewCompressedWriter(&compressed)
+	gen2 := workload.NewSequential(1000, 3)
+	for i := 0; i < 5000; i++ {
+		a := gen2.Next()
+		if err := cw.Write(Record{PID: 1, Page: a.Page, Think: a.Think}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= plain.Len() {
+		t.Fatalf("gzip did not shrink: %d vs %d", compressed.Len(), plain.Len())
+	}
+}
+
+func TestOpenReaderEmptyInput(t *testing.T) {
+	if _, err := OpenReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAll hammers the trace decoder with arbitrary bytes: no panics,
+// no unbounded allocation — errors only.
+func FuzzReadAll(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{PID: 1, Page: 100, Think: 500})
+	_ = w.Write(Record{PID: 2, Page: 50, Think: 100})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(append(append([]byte{}, Magic[:]...), 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must round trip.
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, r := range records {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip count %d != %d", len(again), len(records))
+		}
+		for i := range records {
+			if again[i] != records[i] {
+				t.Fatalf("record %d diverged", i)
+			}
+		}
+	})
+}
+
+// FuzzReadAllAuto covers the gzip auto-detection path too.
+func FuzzReadAllAuto(f *testing.F) {
+	var gz bytes.Buffer
+	cw := NewCompressedWriter(&gz)
+	_ = cw.Write(Record{PID: 1, Page: 7, Think: 3})
+	_ = cw.Close()
+	f.Add(gz.Bytes())
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadAllAuto(bytes.NewReader(data)) // must not panic
+	})
+}

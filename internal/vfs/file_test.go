@@ -1,0 +1,127 @@
+package vfs
+
+import (
+	"testing"
+
+	"leap/internal/core"
+	"leap/internal/sim"
+)
+
+func TestNamespaceCreateOpenRemove(t *testing.T) {
+	ns := NewNamespace(New(leanCfg(1)))
+	f, err := ns.Create("data.bin", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "data.bin" || f.Capacity() != 100*PageSize {
+		t.Fatalf("file metadata wrong: %s %d", f.Name(), f.Capacity())
+	}
+	// Create is idempotent.
+	f2, err := ns.Create("data.bin", 50, 1)
+	if err != nil || f2 != f {
+		t.Fatal("re-create did not return the existing file")
+	}
+	if _, ok := ns.Open("data.bin"); !ok {
+		t.Fatal("open failed")
+	}
+	if _, ok := ns.Open("absent"); ok {
+		t.Fatal("opened a non-existent file")
+	}
+	ns.Remove("data.bin")
+	if _, ok := ns.Open("data.bin"); ok {
+		t.Fatal("remove did not remove")
+	}
+}
+
+func TestNamespaceExtentsDisjoint(t *testing.T) {
+	ns := NewNamespace(New(leanCfg(2)))
+	a, _ := ns.Create("a", 10, 1)
+	b, _ := ns.Create("b", 10, 1)
+	if a.base+core.PageID(a.pages) > b.base {
+		t.Fatalf("extents overlap: a=[%d,%d) b starts %d",
+			a.base, a.base+core.PageID(a.pages), b.base)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	ns := NewNamespace(New(leanCfg(3)))
+	if _, err := ns.Create("bad", 0, 1); err == nil {
+		t.Fatal("zero-size file accepted")
+	}
+}
+
+func TestWriteThenReadLatencies(t *testing.T) {
+	fs := New(leanCfg(4))
+	ns := NewNamespace(fs)
+	f, _ := ns.Create("blob", 1024, 1)
+
+	// Write 64KB at offset 0: 16 pages, buffered, cheap.
+	wlat, err := f.WriteAt(0, 64*1024, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 64*1024 {
+		t.Fatalf("Size = %d, want 64KB", f.Size())
+	}
+	if wlat > 16*2*sim.Microsecond {
+		t.Fatalf("buffered write latency %v too high", wlat)
+	}
+
+	// Immediate read-back hits the cache.
+	rlat, err := f.ReadAt(0, 64*1024, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlat > 16*2*sim.Microsecond {
+		t.Fatalf("cached read latency %v too high", rlat)
+	}
+	if fs.Counters.Get("cache_hits") < 16 {
+		t.Fatalf("cache hits = %d, want >= 16", fs.Counters.Get("cache_hits"))
+	}
+}
+
+func TestColdSequentialReadPrefetches(t *testing.T) {
+	fs := New(leanCfg(5))
+	ns := NewNamespace(fs)
+	f, _ := ns.Create("bigfile", 1<<16, 1)
+	// Cold sequential read of 4MB: Leap should cover most pages.
+	if _, err := f.ReadAt(0, 4<<20, 300); err != nil {
+		t.Fatal(err)
+	}
+	hits := fs.Counters.Get("cache_hits") + fs.Counters.Get("inflight_hits")
+	reads := fs.Counters.Get("reads")
+	if rate := float64(hits) / float64(reads); rate < 0.6 {
+		t.Fatalf("sequential file read prefetch rate = %.3f, want >= 0.6", rate)
+	}
+}
+
+func TestBoundsAndClose(t *testing.T) {
+	ns := NewNamespace(New(leanCfg(6)))
+	f, _ := ns.Create("small", 4, 1)
+	if _, err := f.ReadAt(0, 5*PageSize, 0); err == nil {
+		t.Fatal("read beyond capacity accepted")
+	}
+	if _, err := f.WriteAt(-1, 10, 0); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := f.ReadAt(0, 0, 0); err != nil {
+		t.Fatal("empty read should succeed")
+	}
+	f.Close()
+	if _, err := f.ReadAt(0, 10, 0); err == nil {
+		t.Fatal("read after close accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	ns := NewNamespace(New(leanCfg(7)))
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := ns.Create(n, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := ns.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+}

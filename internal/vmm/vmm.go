@@ -1,0 +1,542 @@
+// Package vmm simulates the disaggregated virtual-memory path: processes
+// with cgroup-style local-memory limits fault on non-resident pages, the
+// fault handler consults the page cache, misses traverse a data path
+// (legacy block layer or Leap's lean path) to a backing device, and a
+// pluggable prefetcher decides what else to bring in. Evicted pages are
+// written back to the backing store.
+//
+// The engine is a discrete-event simulation over virtual time: each process
+// advances its own clock; shared resources (device, RDMA fabric queues,
+// page cache, the prefetch in-flight set) interleave by always stepping the
+// process with the smallest local clock. Everything is deterministic given
+// the configuration seed.
+//
+// Page identity: process pid's virtual page v maps to the global swap
+// address pid<<40 | v. Per-process deltas are preserved (Leap's per-process
+// predictors see clean patterns), while the *stream* interleaving of
+// different processes still garbles the global-stream baselines — the
+// first-order effect behind the paper's isolation argument (§4.1). Linux's
+// additional pathology of interleaved swap-slot allocation is not modeled;
+// see DESIGN.md.
+package vmm
+
+import (
+	"container/heap"
+	"fmt"
+
+	"leap/internal/core"
+	"leap/internal/datapath"
+	"leap/internal/metrics"
+	"leap/internal/pagecache"
+	"leap/internal/prefetch"
+	"leap/internal/rdma"
+	"leap/internal/sim"
+	"leap/internal/storage"
+	"leap/internal/workload"
+)
+
+// PID aliases prefetch.PID.
+type PID = prefetch.PID
+
+// pidShift namespaces per-process pages in the global swap space.
+const pidShift = 40
+
+// globalPage maps (pid, virtual page) to the global swap address.
+func globalPage(pid PID, v core.PageID) core.PageID {
+	return core.PageID(int64(pid)<<pidShift | int64(v))
+}
+
+// Config parameterizes one simulated host machine.
+type Config struct {
+	// Path selects the data path (legacy block layer vs Leap's lean path).
+	Path datapath.Config
+	// CachePolicy picks lazy (Linux) or eager (Leap) prefetch-cache
+	// reclamation; CacheCapacity bounds the prefetch cache in pages
+	// (0 = unlimited), the Figure 12 knob. CacheScanInterval is the lazy
+	// background scan period (0 = pagecache default).
+	CachePolicy       pagecache.Policy
+	CacheCapacity     int
+	CacheScanInterval sim.Duration
+	// Prefetcher is consulted on every swap-in; nil means none.
+	Prefetcher prefetch.Prefetcher
+	// Device is the backing store; nil defaults to remote memory over a
+	// fresh default fabric.
+	Device storage.Device
+	// CaptureFaults records each process's fault addresses (virtual pages)
+	// for pattern analysis (the Figure 3 classifier input).
+	CaptureFaults bool
+	// Seed drives all stochastic latency models.
+	Seed uint64
+}
+
+// App is one process to simulate: a workload generator plus its local
+// memory budget in pages (the cgroup limit).
+type App struct {
+	PID        PID
+	Gen        workload.Generator
+	LimitPages int64
+	// PreloadPages marks virtual pages [0, PreloadPages) resident at start,
+	// modeling an application whose budgeted memory is already populated
+	// (the paper's 100%-memory runs do not page at all). Clamped to
+	// LimitPages.
+	PreloadPages int64
+}
+
+// resEntry is one resident page in a process's LRU list.
+type resEntry struct {
+	page       core.PageID // global address
+	prev, next *resEntry
+}
+
+// proc is the runtime state of one simulated process.
+type proc struct {
+	app   App
+	clock sim.Time
+
+	resident map[core.PageID]*resEntry
+	lruHead  *resEntry // most recently used
+	lruTail  *resEntry
+
+	accesses int64
+	faults   int64
+	// ops counts completed application-level operations.
+	ops int64
+
+	// Measurement baselines, snapshotted when recording turns on, so
+	// warmup work is excluded from results.
+	clock0    sim.Time
+	accesses0 int64
+	faults0   int64
+	ops0      int64
+
+	// faultTrace holds faulted virtual pages when capture is enabled.
+	faultTrace []core.PageID
+
+	// Latency is this process's 4KB swap-in latency distribution.
+	Latency metrics.Histogram
+}
+
+// arrival is a prefetched page in flight.
+type arrival struct {
+	page core.PageID
+	at   sim.Time
+	pid  PID
+}
+
+// arrivalHeap orders arrivals by time.
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Machine simulates one host. Not safe for concurrent use.
+type Machine struct {
+	cfg   Config
+	path  *datapath.Path
+	cache *pagecache.Cache
+	dev   storage.Device
+	pf    prefetch.Prefetcher
+
+	procs []*proc
+	byPID map[PID]*proc
+
+	inflight  map[core.PageID]sim.Time
+	inflights arrivalHeap
+
+	// charged tracks page-cache pages attributed to each process's cgroup:
+	// in Linux, swap-cache pages are charged to the faulting cgroup, so a
+	// flooding prefetcher squeezes the process's own resident set. The
+	// fault path enforces resident+charged <= limit.
+	charged map[PID]int64
+
+	lastDevPage core.PageID // device head/locality tracker
+	candBuf     []core.PageID
+
+	recording bool
+	// cacheStats0 snapshots cache counters at measurement start.
+	cacheStats0 pagecache.Stats
+
+	// Global metrics.
+	FaultLatency metrics.Histogram // all swap-in faults, all processes
+	AllocLatency metrics.Histogram // page-allocation cost paid per miss
+	Counters     metrics.Counters
+}
+
+// NewMachine builds a machine with the given apps.
+func NewMachine(cfg Config, apps []App) (*Machine, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("vmm: no apps")
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	dev := cfg.Device
+	if dev == nil {
+		dev = storage.NewRemote(rdma.New(rdma.Config{}, rng.Fork(1)))
+	}
+	pf := cfg.Prefetcher
+	if pf == nil {
+		pf = prefetch.None{}
+	}
+	m := &Machine{
+		cfg:  cfg,
+		path: datapath.New(cfg.Path, rng.Fork(2)),
+		cache: pagecache.New(pagecache.Config{
+			Capacity:     cfg.CacheCapacity,
+			Policy:       cfg.CachePolicy,
+			ScanInterval: cfg.CacheScanInterval,
+		}),
+		dev:       dev,
+		pf:        pf,
+		byPID:     make(map[PID]*proc),
+		inflight:  make(map[core.PageID]sim.Time),
+		charged:   make(map[PID]int64),
+		recording: true,
+	}
+	m.cache.OnEvict = func(page core.PageID) {
+		m.charged[PID(int64(page)>>pidShift)]--
+	}
+	for _, a := range apps {
+		if a.Gen == nil {
+			return nil, fmt.Errorf("vmm: app %d has no generator", a.PID)
+		}
+		if _, dup := m.byPID[a.PID]; dup {
+			return nil, fmt.Errorf("vmm: duplicate pid %d", a.PID)
+		}
+		p := &proc{app: a, resident: make(map[core.PageID]*resEntry)}
+		preload := a.PreloadPages
+		if preload > a.LimitPages {
+			preload = a.LimitPages
+		}
+		for v := int64(0); v < preload; v++ {
+			m.insertResident(p, globalPage(a.PID, core.PageID(v)), 0)
+		}
+		m.procs = append(m.procs, p)
+		m.byPID[a.PID] = p
+	}
+	return m, nil
+}
+
+// Cache exposes the page cache for experiment accounting.
+func (m *Machine) Cache() *pagecache.Cache { return m.cache }
+
+// Path exposes the data path for stage histograms.
+func (m *Machine) Path() *datapath.Path { return m.path }
+
+// Device exposes the backing store.
+func (m *Machine) Device() storage.Device { return m.dev }
+
+// SetRecording toggles metric collection; warmup runs with recording off.
+// Turning recording on snapshots per-process clocks and cache counters so
+// results cover only the measured phase.
+func (m *Machine) SetRecording(on bool) {
+	if on && !m.recording {
+		for _, p := range m.procs {
+			p.clock0 = p.clock
+			p.accesses0 = p.accesses
+			p.faults0 = p.faults
+			p.ops0 = p.ops
+		}
+		m.cacheStats0 = m.cache.Stats()
+	}
+	m.recording = on
+}
+
+// ProcLatency reports the latency histogram of pid's swap-ins.
+func (m *Machine) ProcLatency(pid PID) *metrics.Histogram {
+	if p, ok := m.byPID[pid]; ok {
+		return &p.Latency
+	}
+	return nil
+}
+
+// ProcTime reports pid's local virtual clock.
+func (m *Machine) ProcTime(pid PID) sim.Time {
+	if p, ok := m.byPID[pid]; ok {
+		return p.clock
+	}
+	return 0
+}
+
+// ProcFaults reports pid's fault count.
+func (m *Machine) ProcFaults(pid PID) int64 {
+	if p, ok := m.byPID[pid]; ok {
+		return p.faults
+	}
+	return 0
+}
+
+// FaultTrace reports pid's recorded fault addresses (virtual pages);
+// non-nil only when Config.CaptureFaults is set.
+func (m *Machine) FaultTrace(pid PID) []core.PageID {
+	if p, ok := m.byPID[pid]; ok {
+		return p.faultTrace
+	}
+	return nil
+}
+
+// MaxTime reports the largest process clock — the makespan.
+func (m *Machine) MaxTime() sim.Time {
+	var max sim.Time
+	for _, p := range m.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// measuredMakespan reports the longest measured-phase duration across
+// processes.
+func (m *Machine) measuredMakespan() sim.Duration {
+	var max sim.Duration
+	for _, p := range m.procs {
+		if d := p.clock.Sub(p.clock0); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// flushArrivals lands every in-flight prefetch that has completed by now.
+func (m *Machine) flushArrivals(now sim.Time) {
+	for len(m.inflights) > 0 && m.inflights[0].at <= now {
+		a := heap.Pop(&m.inflights).(arrival)
+		if at, ok := m.inflight[a.page]; ok && at == a.at {
+			delete(m.inflight, a.page)
+			if m.cache.Insert(a.page, true, a.at) {
+				m.charged[a.pid]++
+			}
+		}
+	}
+	m.cache.Tick(now)
+}
+
+// touchResident moves e to the front of p's LRU.
+func (p *proc) touchResident(e *resEntry) {
+	if p.lruHead == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if p.lruTail == e {
+		p.lruTail = e.prev
+	}
+	// Push front.
+	e.prev = nil
+	e.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = e
+	}
+	p.lruHead = e
+	if p.lruTail == nil {
+		p.lruTail = e
+	}
+}
+
+// insertResident maps a page into p, evicting (and swapping out) the LRU
+// page if the limit is exceeded. Returns the swap-out count performed.
+func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
+	if e, ok := p.resident[page]; ok {
+		p.touchResident(e)
+		return
+	}
+	e := &resEntry{page: page}
+	p.resident[page] = e
+	e.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = e
+	}
+	p.lruHead = e
+	if p.lruTail == nil {
+		p.lruTail = e
+	}
+	// The cgroup charge covers both mapped pages and this process's share
+	// of the page cache. Under pressure, reclaim targets the page cache
+	// first (kswapd prefers cold cache pages over mapped ones) — consumed
+	// ghosts and stale unconsumed prefetches, which is where a flooding
+	// prefetcher churns its own pages — then falls back to evicting the
+	// process's LRU pages. Fresh prefetches get a 2ms grace so pressure
+	// cannot cancel a prefetch that is about to be consumed.
+	if over := int64(len(p.resident)) + m.charged[p.app.PID] - p.app.LimitPages; over > 0 {
+		m.cache.ReclaimAged(int(over), 2*sim.Millisecond, now)
+	}
+	budget := p.app.LimitPages - m.charged[p.app.PID]
+	if floor := int64(16); budget < floor {
+		budget = floor
+	}
+	for int64(len(p.resident)) > budget && p.lruTail != nil {
+		victim := p.lruTail
+		p.lruTail = victim.prev
+		if p.lruTail != nil {
+			p.lruTail.next = nil
+		} else {
+			p.lruHead = nil
+		}
+		delete(p.resident, victim.page)
+		// Write-back to the backing store (asynchronous: occupies the
+		// device/fabric but nobody waits). Swap-out is slot-clustered, so
+		// it neither pays nor causes read-head seeks.
+		m.dev.Write(int(p.app.PID), now, victim.page, 1)
+		if m.recording {
+			m.Counters.Inc("swapouts")
+		}
+	}
+}
+
+// issuePrefetches fetches candidate pages into the cache asynchronously.
+// Prefetch I/O rides the same device model as demand fetches — occupying
+// queues and bandwidth — but nobody blocks on it. Linux batches read-ahead
+// pages onto the demand request's trip through the block layer, so no
+// per-page block-layer overhead is charged on either path; each page pays
+// only dispatch + device time.
+func (m *Machine) issuePrefetches(p *proc, cands []core.PageID, now sim.Time) {
+	for _, c := range cands {
+		if _, ok := p.resident[c]; ok {
+			continue
+		}
+		if m.cache.Contains(c) {
+			continue
+		}
+		if _, ok := m.inflight[c]; ok {
+			continue
+		}
+		dist := int64(c - m.lastDevPage)
+		m.lastDevPage = c
+		done := m.dev.Read(int(p.app.PID), now, c, dist)
+		m.inflight[c] = done
+		heap.Push(&m.inflights, arrival{page: c, at: done, pid: p.app.PID})
+		if m.recording {
+			m.Counters.Inc("prefetch_issued")
+		}
+	}
+}
+
+// Step runs one access of process p and returns the swap-in latency paid
+// (0 for residency hits).
+func (m *Machine) step(p *proc) sim.Duration {
+	a := p.app.Gen.Next()
+	p.clock = p.clock.Add(a.Think)
+	now := p.clock
+	m.flushArrivals(now)
+	p.accesses++
+	if p.accesses%int64(p.app.Gen.AccessesPerOp()) == 0 {
+		p.ops++
+	}
+
+	page := globalPage(p.app.PID, a.Page)
+
+	// Resident: no fault, no cost beyond think time.
+	if e, ok := p.resident[page]; ok {
+		p.touchResident(e)
+		if m.recording {
+			m.Counters.Inc("resident_hits")
+		}
+		return 0
+	}
+
+	// Swap-in fault.
+	p.faults++
+	if m.recording {
+		m.Counters.Inc("faults")
+		if m.cfg.CaptureFaults {
+			p.faultTrace = append(p.faultTrace, a.Page)
+		}
+	}
+	var latency sim.Duration
+	miss := false
+
+	if hit, wasPre := m.cache.Lookup(page, now); hit {
+		latency = m.path.HitLatency()
+		if wasPre {
+			m.pf.OnPrefetchHit(p.app.PID)
+		}
+		if m.recording {
+			m.Counters.Inc("cache_hits")
+		}
+	} else if at, ok := m.inflight[page]; ok {
+		// The prefetch is on the wire: pay only the remaining time.
+		delete(m.inflight, page)
+		wait := at.Sub(now)
+		if wait < 0 {
+			wait = 0
+		}
+		latency = m.path.HitLatency() + wait
+		m.pf.OnPrefetchHit(p.app.PID)
+		if m.recording {
+			m.Counters.Inc("inflight_hits")
+			// An in-flight consumption is still a prefetch success for
+			// accuracy accounting (it was added and used).
+			m.Counters.Inc("inflight_adds")
+		}
+	} else {
+		// Full miss: data path overhead + device + page allocation.
+		miss = true
+		b := m.path.RequestOverhead()
+		dist := int64(page - m.lastDevPage)
+		m.lastDevPage = page
+		submit := now.Add(b.Total())
+		done := m.dev.Read(int(p.app.PID), submit, page, dist)
+		alloc := m.cache.AllocLatency()
+		latency = b.Total() + done.Sub(submit) + alloc
+		if m.recording {
+			m.Counters.Inc("cache_misses")
+			m.AllocLatency.Observe(alloc)
+		}
+	}
+
+	if m.recording {
+		m.FaultLatency.Observe(latency)
+		p.Latency.Observe(latency)
+	}
+	p.clock = p.clock.Add(latency)
+
+	// Record the access and, on a miss, collect prefetch candidates. The
+	// prefetcher sees every swap-in (§4.1: cache look-ups are monitored,
+	// resident pages are not); candidate generation sits on the miss path
+	// like swapin_readahead.
+	m.candBuf = m.pf.OnAccess(p.app.PID, page, miss, m.candBuf[:0])
+	m.issuePrefetches(p, m.candBuf, p.clock)
+
+	// The faulted page becomes resident.
+	m.insertResident(p, page, p.clock)
+	return latency
+}
+
+// Run advances the machine until every process has performed accesses
+// accesses (beyond whatever it has already done). Processes interleave by
+// local virtual time.
+func (m *Machine) Run(accesses int64) {
+	target := make(map[PID]int64, len(m.procs))
+	for _, p := range m.procs {
+		target[p.app.PID] = p.accesses + accesses
+	}
+	for {
+		// Pick the lagging process that still has work.
+		var next *proc
+		for _, p := range m.procs {
+			if p.accesses >= target[p.app.PID] {
+				continue
+			}
+			if next == nil || p.clock < next.clock {
+				next = p
+			}
+		}
+		if next == nil {
+			return
+		}
+		m.step(next)
+	}
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"leap/internal/core"
+	"leap/internal/sim"
+)
+
+// segClass is the type of the current cold-region segment.
+type segClass int
+
+const (
+	segSequential segClass = iota
+	segStride
+	segRandom
+)
+
+// Profile parameterizes an application model: a hot region that stays
+// resident, plus cold-region traffic built from sequential, strided, and
+// random segments. The per-application values below were calibrated so the
+// Figure 3 classifier reproduces the paper's measured pattern mixes.
+type Profile struct {
+	// AppName is the workload identifier.
+	AppName string
+	// TotalPages is the full working set (the paper's apps use 9–38.2GB;
+	// scaled down proportionally for simulation speed).
+	TotalPages int64
+	// HotFraction of the working set is hot; HotProb of accesses go there.
+	HotFraction float64
+	HotProb     float64
+	// Segment class weights for cold traffic (need not sum to 1).
+	SeqWeight, StrideWeight, RandWeight float64
+	// Mean segment lengths (accesses) per class.
+	SeqLen, StrideLen, RandLen int
+	// StrideSet holds candidate stride values for strided segments.
+	StrideSet []int64
+	// NoiseProb is the chance that any cold access is replaced by a one-off
+	// out-of-order page near the segment cursor, without disturbing the
+	// cursor — the multi-threading-style short-term irregularity the paper
+	// credits majority voting with tolerating (§3.2.1). The deltas it
+	// injects are wild (breaking strict sequentiality tests) but spatially
+	// local (within NoiseSpan pages of the cursor).
+	NoiseProb float64
+	// NoiseSpan bounds the distance of noise accesses from the cursor
+	// (default 64 when zero).
+	NoiseSpan int64
+	// ThinkMean is the mean per-access CPU time.
+	ThinkMean sim.Duration
+	// OpsEvery is accesses per application-level operation.
+	OpsEvery int
+}
+
+// App generates accesses from a Profile.
+type App struct {
+	p     Profile
+	rng   *sim.RNG
+	think sim.Dist
+
+	hotPages int64
+
+	class   segClass
+	remain  int   // accesses left in current segment
+	cursor  int64 // cold-region position (absolute page)
+	stride  int64
+	zipfSrc *sim.RNG // popularity stream for hot accesses
+}
+
+// NewApp instantiates profile p with the given seed.
+func NewApp(p Profile, seed uint64) *App {
+	rng := sim.NewRNG(seed)
+	a := &App{
+		p:        p,
+		rng:      rng,
+		think:    sim.Exponential{MeanVal: p.ThinkMean, Floor: 100 * sim.Nanosecond},
+		hotPages: int64(float64(p.TotalPages) * p.HotFraction),
+		zipfSrc:  rng.Fork(0xbeef),
+	}
+	a.startSegment()
+	return a
+}
+
+// Name implements Generator.
+func (a *App) Name() string { return a.p.AppName }
+
+// Pages implements Generator.
+func (a *App) Pages() int64 { return a.p.TotalPages }
+
+// AccessesPerOp implements Generator.
+func (a *App) AccessesPerOp() int {
+	if a.p.OpsEvery < 1 {
+		return 1
+	}
+	return a.p.OpsEvery
+}
+
+// coldSpan reports the cold region's page range [hotPages, TotalPages).
+func (a *App) coldSpan() int64 { return a.p.TotalPages - a.hotPages }
+
+func (a *App) startSegment() {
+	total := a.p.SeqWeight + a.p.StrideWeight + a.p.RandWeight
+	u := a.rng.Float64() * total
+	mean := 1
+	switch {
+	case u < a.p.SeqWeight:
+		a.class = segSequential
+		a.stride = 1
+		mean = a.p.SeqLen
+	case u < a.p.SeqWeight+a.p.StrideWeight:
+		a.class = segStride
+		a.stride = a.p.StrideSet[a.rng.Intn(len(a.p.StrideSet))]
+		mean = a.p.StrideLen
+	default:
+		a.class = segRandom
+		mean = a.p.RandLen
+	}
+	if mean < 1 {
+		mean = 1
+	}
+	// Geometric-ish segment length around the mean, at least 2.
+	a.remain = 2 + int(float64(mean)*a.rng.ExpFloat64())
+	// New segments start at a fresh cold location.
+	a.cursor = a.hotPages + a.rng.Int63n(a.coldSpan())
+}
+
+func (a *App) coldNext() core.PageID {
+	if a.remain <= 0 {
+		a.startSegment()
+	}
+	a.remain--
+	if a.p.NoiseProb > 0 && a.rng.Float64() < a.p.NoiseProb {
+		// One-off out-of-order access ahead of the cursor (a sibling thread
+		// running ahead in the same region); the segment cursor is
+		// unaffected. Forward skew matches partitioned multi-threaded scans:
+		// peers process later portions of the same range.
+		span := a.p.NoiseSpan
+		if span <= 12 {
+			span = 64
+		}
+		off := 12 + a.rng.Int63n(span-11)
+		p := a.cursor + off
+		if p < a.hotPages {
+			p = a.hotPages
+		}
+		if p >= a.p.TotalPages {
+			p = a.p.TotalPages - 1
+		}
+		return core.PageID(p)
+	}
+	switch a.class {
+	case segSequential, segStride:
+		p := a.cursor
+		a.cursor += a.stride
+		if a.cursor >= a.p.TotalPages || a.cursor < a.hotPages {
+			a.startSegment()
+		}
+		return core.PageID(p)
+	default:
+		return core.PageID(a.hotPages + a.rng.Int63n(a.coldSpan()))
+	}
+}
+
+// Next implements Generator.
+func (a *App) Next() Access {
+	think := a.think.Sample(a.rng)
+	if a.hotPages > 0 && a.rng.Float64() < a.p.HotProb {
+		rank := zipfRank(a.zipfSrc, a.hotPages, 1.01)
+		return Access{Page: core.PageID(rank - 1), Think: think}
+	}
+	return Access{Page: a.coldNext(), Think: think}
+}
+
+// The four application profiles. Working sets are scaled to simulation size
+// (1 page = 4KB; 2^18 pages = 1GB) while preserving the paper's relative
+// footprints (PowerGraph/Twitter ≈ 9GB … NumPy ≈ 38.2GB) and Figure 3
+// pattern mixes.
+
+// PowerGraphProfile models graph analytics on the Twitter graph: long
+// sequential edge-list scans, strided vertex-array walks, and a meaningful
+// share of irregular gather traffic. Figure 3 shows it with the highest
+// sequential fraction and a visible stride share.
+func PowerGraphProfile() Profile {
+	return Profile{
+		AppName:      "powergraph",
+		TotalPages:   96 * 1024, // scaled working set
+		HotFraction:  0.30,
+		HotProb:      0.40,
+		SeqWeight:    0.60,
+		StrideWeight: 0.30,
+		RandWeight:   0.10,
+		SeqLen:       900,
+		StrideLen:    450,
+		RandLen:      5,
+		StrideSet:    []int64{7, 13, 21, 33},
+		NoiseProb:    0.06,
+		ThinkMean:    2500 * sim.Nanosecond,
+		OpsEvery:     1,
+	}
+}
+
+// NumPyProfile models the matrix product of §5.3.2: two operand matrices
+// swept in long rows — overwhelmingly sequential faults with short strided
+// column walks.
+func NumPyProfile() Profile {
+	return Profile{
+		AppName:      "numpy",
+		TotalPages:   128 * 1024,
+		HotFraction:  0.10,
+		HotProb:      0.15,
+		SeqWeight:    0.80,
+		StrideWeight: 0.12,
+		RandWeight:   0.08,
+		SeqLen:       800,
+		StrideLen:    160,
+		RandLen:      4,
+		StrideSet:    []int64{25, 50},
+		NoiseProb:    0.05,
+		ThinkMean:    1000 * sim.Nanosecond,
+		OpsEvery:     1,
+	}
+}
+
+// VoltDBProfile models TPC-C: short transactions over B-tree-resident
+// tables. The paper measures 69% of its remote accesses as irregular, with
+// modest sequential runs from scans; operations are transactions.
+func VoltDBProfile() Profile {
+	return Profile{
+		AppName:      "voltdb",
+		TotalPages:   80 * 1024,
+		HotFraction:  0.25,
+		HotProb:      0.45,
+		SeqWeight:    0.20,
+		StrideWeight: 0.11,
+		RandWeight:   0.69,
+		SeqLen:       48,
+		StrideLen:    24,
+		RandLen:      12,
+		StrideSet:    []int64{5, 9},
+		NoiseProb:    0.08,
+		ThinkMean:    900 * sim.Nanosecond,
+		OpsEvery:     12, // accesses per transaction
+	}
+}
+
+// MemcachedProfile models the Facebook ETC workload: zipf-popular keys
+// hashed over the heap — almost entirely irregular faults (Figure 3 puts
+// ~96% of its windows in "other").
+func MemcachedProfile() Profile {
+	return Profile{
+		AppName:      "memcached",
+		TotalPages:   112 * 1024,
+		HotFraction:  0.20,
+		HotProb:      0.55,
+		SeqWeight:    0.03,
+		StrideWeight: 0.01,
+		RandWeight:   0.96,
+		SeqLen:       4,
+		StrideLen:    4,
+		RandLen:      24,
+		StrideSet:    []int64{2},
+		NoiseProb:    0.02,
+		ThinkMean:    700 * sim.Nanosecond,
+		OpsEvery:     2, // accesses per GET/SET
+	}
+}
+
+// Profiles returns the four paper applications in presentation order.
+func Profiles() []Profile {
+	return []Profile{
+		PowerGraphProfile(),
+		NumPyProfile(),
+		VoltDBProfile(),
+		MemcachedProfile(),
+	}
+}
+
+// ByName returns the profile with the given AppName.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.AppName == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

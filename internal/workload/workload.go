@@ -1,0 +1,222 @@
+// Package workload generates the page-access streams driving every
+// experiment: the two microbenchmark patterns of §2.2 (Sequential,
+// Stride-10) and synthetic models of the paper's four applications
+// (PowerGraph, NumPy, VoltDB, Memcached).
+//
+// The application models are hot/cold segment mixtures calibrated against
+// the paper's Figure 3, which measures — per application, at 50% memory —
+// what fraction of page-fault windows are sequential, strided, or irregular.
+// Each model keeps a hot region (in-memory after warmup; accesses to it
+// don't fault) and generates its cold-region traffic as segments: sequential
+// runs, strided runs, and random bursts, with per-access noise injections
+// that create exactly the short-term irregularities Leap's majority vote is
+// designed to tolerate. Substituting pattern-calibrated generators for the
+// real binaries is the central simulation trade recorded in DESIGN.md: every
+// evaluation result downstream of the access stream depends only on the
+// fault pattern mix, which Figure 3 pins down.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"leap/internal/core"
+	"leap/internal/sim"
+)
+
+// Access is one memory reference: the virtual page touched and the CPU time
+// the application spends before issuing it.
+type Access struct {
+	Page  core.PageID
+	Think sim.Duration
+}
+
+// Generator produces an unbounded, deterministic access stream.
+type Generator interface {
+	// Name reports the workload identifier.
+	Name() string
+	// Pages reports the working-set size in pages.
+	Pages() int64
+	// AccessesPerOp reports how many accesses constitute one application
+	// level operation (a transaction for VoltDB, a request for Memcached);
+	// 1 when operations are not meaningful.
+	AccessesPerOp() int
+	// Next returns the next access.
+	Next() Access
+}
+
+// Sequential scans the working set linearly, wrapping at the end — the
+// paper's Sequential microbenchmark.
+type Sequential struct {
+	pages int64
+	pos   int64
+	think sim.Dist
+	rng   *sim.RNG
+}
+
+// NewSequential returns a sequential scanner over pages pages.
+func NewSequential(pages int64, seed uint64) *Sequential {
+	return &Sequential{
+		pages: pages,
+		think: sim.Exponential{MeanVal: 500 * sim.Nanosecond},
+		rng:   sim.NewRNG(seed),
+	}
+}
+
+// Name implements Generator.
+func (g *Sequential) Name() string { return "sequential" }
+
+// Pages implements Generator.
+func (g *Sequential) Pages() int64 { return g.pages }
+
+// AccessesPerOp implements Generator.
+func (g *Sequential) AccessesPerOp() int { return 1 }
+
+// Next implements Generator.
+func (g *Sequential) Next() Access {
+	a := Access{Page: core.PageID(g.pos), Think: g.think.Sample(g.rng)}
+	g.pos = (g.pos + 1) % g.pages
+	return a
+}
+
+// Stride accesses the working set in fixed strides of k pages — the paper's
+// Stride-10 microbenchmark with k=10.
+type Stride struct {
+	pages int64
+	k     int64
+	pos   int64
+	think sim.Dist
+	rng   *sim.RNG
+}
+
+// NewStride returns a stride-k scanner over pages pages.
+func NewStride(pages, k int64, seed uint64) *Stride {
+	if k == 0 {
+		k = 1
+	}
+	return &Stride{
+		pages: pages,
+		k:     k,
+		think: sim.Exponential{MeanVal: 500 * sim.Nanosecond},
+		rng:   sim.NewRNG(seed),
+	}
+}
+
+// Name implements Generator.
+func (g *Stride) Name() string { return fmt.Sprintf("stride-%d", g.k) }
+
+// Pages implements Generator.
+func (g *Stride) Pages() int64 { return g.pages }
+
+// AccessesPerOp implements Generator.
+func (g *Stride) AccessesPerOp() int { return 1 }
+
+// Next implements Generator.
+func (g *Stride) Next() Access {
+	a := Access{Page: core.PageID(g.pos), Think: g.think.Sample(g.rng)}
+	g.pos = (g.pos + g.k) % g.pages
+	return a
+}
+
+// Uniform touches uniformly random pages — the adversarial baseline with no
+// exploitable pattern at all.
+type Uniform struct {
+	pages int64
+	think sim.Dist
+	rng   *sim.RNG
+}
+
+// NewUniform returns a uniform random workload over pages pages.
+func NewUniform(pages int64, seed uint64) *Uniform {
+	return &Uniform{
+		pages: pages,
+		think: sim.Exponential{MeanVal: 500 * sim.Nanosecond},
+		rng:   sim.NewRNG(seed),
+	}
+}
+
+// Name implements Generator.
+func (g *Uniform) Name() string { return "uniform" }
+
+// Pages implements Generator.
+func (g *Uniform) Pages() int64 { return g.pages }
+
+// AccessesPerOp implements Generator.
+func (g *Uniform) AccessesPerOp() int { return 1 }
+
+// Next implements Generator.
+func (g *Uniform) Next() Access {
+	return Access{
+		Page:  core.PageID(g.rng.Int63n(g.pages)),
+		Think: g.think.Sample(g.rng),
+	}
+}
+
+// Zipf draws pages from a bounded zipfian popularity distribution
+// (P(rank k) ∝ 1/k^s), the standard key-popularity model for key-value
+// caches (the Facebook ETC analysis behind the paper's Memcached workload).
+// Ranks are scattered over the page space with a multiplicative hash so
+// popular pages are not spatially adjacent.
+type Zipf struct {
+	pages int64
+	s     float64
+	rng   *sim.RNG
+	think sim.Dist
+}
+
+// NewZipf returns a zipfian workload with exponent s over pages pages.
+func NewZipf(pages int64, s float64, seed uint64) *Zipf {
+	if s <= 0 {
+		s = 0.99
+	}
+	return &Zipf{
+		pages: pages,
+		s:     s,
+		rng:   sim.NewRNG(seed),
+		think: sim.Exponential{MeanVal: 500 * sim.Nanosecond},
+	}
+}
+
+// Name implements Generator.
+func (g *Zipf) Name() string { return "zipf" }
+
+// Pages implements Generator.
+func (g *Zipf) Pages() int64 { return g.pages }
+
+// AccessesPerOp implements Generator.
+func (g *Zipf) AccessesPerOp() int { return 1 }
+
+// rank draws a zipf rank in [1, n] by inverting the continuous
+// approximation of the zipf CDF (accurate enough for workload shaping).
+func zipfRank(rng *sim.RNG, n int64, s float64) int64 {
+	u := rng.Float64()
+	if math.Abs(s-1.0) < 1e-9 {
+		// CDF ≈ ln(k)/ln(n)
+		k := int64(math.Exp(u * math.Log(float64(n))))
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	// CDF ≈ (k^(1-s) - 1) / (n^(1-s) - 1)
+	oneMinus := 1 - s
+	k := int64(math.Pow(u*(math.Pow(float64(n), oneMinus)-1)+1, 1/oneMinus))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Next implements Generator.
+func (g *Zipf) Next() Access {
+	rank := zipfRank(g.rng, g.pages, g.s)
+	// Scatter ranks across the page space deterministically.
+	page := core.PageID((uint64(rank) * 0x9E3779B97F4A7C15) % uint64(g.pages))
+	return Access{Page: page, Think: g.think.Sample(g.rng)}
+}

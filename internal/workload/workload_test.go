@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"leap/internal/analysis"
+	"leap/internal/core"
+	"leap/internal/sim"
+)
+
+func collect(g Generator, n int) []core.PageID {
+	out := make([]core.PageID, n)
+	for i := range out {
+		out[i] = g.Next().Page
+	}
+	return out
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g := NewSequential(5, 1)
+	got := collect(g, 12)
+	want := []core.PageID{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if g.Name() != "sequential" || g.Pages() != 5 || g.AccessesPerOp() != 1 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestStridePattern(t *testing.T) {
+	g := NewStride(100, 10, 1)
+	got := collect(g, 11)
+	for i := 0; i < 10; i++ {
+		if got[i] != core.PageID(i*10) {
+			t.Fatalf("access %d = %d, want %d", i, got[i], i*10)
+		}
+	}
+	if got[10] != 0 {
+		t.Fatalf("wrap = %d, want 0", got[10])
+	}
+	if g.Name() != "stride-10" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestStrideZeroDefaultsToOne(t *testing.T) {
+	g := NewStride(10, 0, 1)
+	got := collect(g, 3)
+	if got[1] != got[0]+1 {
+		t.Fatal("zero stride not defaulted")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := NewUniform(1000, 7)
+	for _, p := range collect(g, 10000) {
+		if p < 0 || p >= 1000 {
+			t.Fatalf("page %d out of range", p)
+		}
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	g := NewUniform(16, 3)
+	seen := map[core.PageID]bool{}
+	for _, p := range collect(g, 2000) {
+		seen[p] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform covered %d of 16 pages", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(100000, 0.99, 5)
+	counts := map[core.PageID]int{}
+	const n = 200000
+	for _, p := range collect(g, n) {
+		counts[p]++
+	}
+	// Strong skew: the top page should hold a few percent of accesses, and
+	// the distinct-page count far below n.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if float64(maxC)/n < 0.01 {
+		t.Fatalf("zipf top page only %.4f of accesses — not skewed", float64(maxC)/n)
+	}
+	if len(counts) > n/2 {
+		t.Fatalf("zipf produced %d distinct pages in %d accesses — too uniform", len(counts), n)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	g := NewZipf(512, 1.0, 11) // s=1 exercises the log-CDF branch
+	for _, p := range collect(g, 20000) {
+		if p < 0 || p >= 512 {
+			t.Fatalf("page %d out of range", p)
+		}
+	}
+}
+
+func TestZipfRankRange(t *testing.T) {
+	rng := sim.NewRNG(13)
+	for i := 0; i < 100000; i++ {
+		k := zipfRank(rng, 1000, 0.99)
+		if k < 1 || k > 1000 {
+			t.Fatalf("rank %d out of [1,1000]", k)
+		}
+	}
+}
+
+func TestAppDeterminism(t *testing.T) {
+	a := collect(NewApp(PowerGraphProfile(), 99), 5000)
+	b := collect(NewApp(PowerGraphProfile(), 99), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("app stream diverges at %d", i)
+		}
+	}
+	c := collect(NewApp(PowerGraphProfile(), 100), 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatal("different seeds produced near-identical streams")
+	}
+}
+
+func TestAppPagesInRange(t *testing.T) {
+	for _, p := range Profiles() {
+		g := NewApp(p, 42)
+		for _, pg := range collect(g, 20000) {
+			if pg < 0 || int64(pg) >= p.TotalPages {
+				t.Fatalf("%s: page %d outside working set %d", p.AppName, pg, p.TotalPages)
+			}
+		}
+	}
+}
+
+func TestAppMetadata(t *testing.T) {
+	for _, p := range Profiles() {
+		g := NewApp(p, 1)
+		if g.Name() != p.AppName || g.Pages() != p.TotalPages {
+			t.Fatalf("%s metadata mismatch", p.AppName)
+		}
+		if g.AccessesPerOp() < 1 {
+			t.Fatalf("%s AccessesPerOp = %d", p.AppName, g.AccessesPerOp())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("powergraph"); !ok {
+		t.Fatal("powergraph missing")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Fatal("bogus app found")
+	}
+}
+
+// coldFaults extracts the cold-region access stream — a proxy for the fault
+// stream a 50%-memory run produces (hot pages stay resident).
+func coldFaults(p Profile, n int, seed uint64) []core.PageID {
+	g := NewApp(p, seed)
+	hot := int64(float64(p.TotalPages) * p.HotFraction)
+	var out []core.PageID
+	for len(out) < n {
+		a := g.Next()
+		if int64(a.Page) >= hot {
+			out = append(out, a.Page)
+		}
+	}
+	return out
+}
+
+// TestFigure3PatternMixes validates the generators against the paper's
+// Figure 3 shape requirements.
+func TestFigure3PatternMixes(t *testing.T) {
+	const n = 60000
+
+	pg := coldFaults(PowerGraphProfile(), n, 1)
+	np := coldFaults(NumPyProfile(), n, 2)
+	vd := coldFaults(VoltDBProfile(), n, 3)
+	mc := coldFaults(MemcachedProfile(), n, 4)
+
+	// (1) Strict sequential fraction decays as the window grows (Fig. 3's
+	// left-to-right decline) for the pattern-rich apps.
+	for _, tc := range []struct {
+		name   string
+		faults []core.PageID
+	}{{"powergraph", pg}, {"numpy", np}, {"voltdb", vd}} {
+		w2 := analysis.ClassifyStrict(tc.faults, 2)
+		w8 := analysis.ClassifyStrict(tc.faults, 8)
+		if !(w8.Sequential < w2.Sequential) {
+			t.Errorf("%s: strict seq did not decay: W2=%.3f W8=%.3f",
+				tc.name, w2.Sequential, w8.Sequential)
+		}
+	}
+
+	// (2) Majority detection at window 8 recovers more sequential windows
+	// than strict matching (the paper: 11.3–29.7% more).
+	for _, tc := range []struct {
+		name   string
+		faults []core.PageID
+	}{{"powergraph", pg}, {"numpy", np}} {
+		strict := analysis.ClassifyStrict(tc.faults, 8)
+		maj := analysis.ClassifyMajority(tc.faults, 8)
+		gain := maj.Sequential - strict.Sequential
+		if gain < 0.05 {
+			t.Errorf("%s: majority gain at W8 = %.3f, want >= 0.05", tc.name, gain)
+		}
+	}
+
+	// (3) Memcached is overwhelmingly irregular (paper: ~96% other under
+	// majority detection).
+	mcMaj := analysis.ClassifyMajority(mc, 8)
+	if mcMaj.Other < 0.85 {
+		t.Errorf("memcached majority other = %.3f, want >= 0.85", mcMaj.Other)
+	}
+
+	// (4) VoltDB is majority-irregular (paper: 69% of accesses irregular).
+	vdMaj := analysis.ClassifyMajority(vd, 8)
+	if vdMaj.Other < 0.45 {
+		t.Errorf("voltdb majority other = %.3f, want >= 0.45", vdMaj.Other)
+	}
+
+	// (5) PowerGraph and NumPy have meaningful detectable patterns.
+	pgMaj := analysis.ClassifyMajority(pg, 8)
+	if pgMaj.Sequential+pgMaj.Stride < 0.35 {
+		t.Errorf("powergraph detectable = %.3f, want >= 0.35", pgMaj.Sequential+pgMaj.Stride)
+	}
+}
+
+func TestThinkTimesPositive(t *testing.T) {
+	for _, p := range Profiles() {
+		g := NewApp(p, 9)
+		var sum float64
+		for i := 0; i < 5000; i++ {
+			a := g.Next()
+			if a.Think <= 0 {
+				t.Fatalf("%s: non-positive think time", p.AppName)
+			}
+			sum += float64(a.Think)
+		}
+		mean := sum / 5000
+		if math.Abs(mean-float64(p.ThinkMean))/float64(p.ThinkMean) > 0.25 {
+			t.Errorf("%s: think mean %.0fns, want ~%dns", p.AppName, mean, p.ThinkMean)
+		}
+	}
+}

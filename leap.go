@@ -1,0 +1,247 @@
+// Package leap is a library reproduction of "Effectively Prefetching Remote
+// Memory with Leap" (Maruf & Chowdhury, USENIX ATC 2020).
+//
+// The public API has four layers:
+//
+//   - The predictor: NewPredictor gives direct access to the paper's
+//     majority-trend prefetching algorithm (Boyer–Moore majority vote over a
+//     per-process access history, adaptive prefetch windows). Feed it page
+//     faults, get prefetch candidates.
+//
+//   - Prefetchers: NewPrefetcher builds Leap or any of the evaluated
+//     baselines (next-n-line, stride, Linux-style read-ahead) behind one
+//     interface for the paging data path.
+//
+//   - The simulation: Simulate runs workloads against a virtual-time model
+//     of the whole remote-paging stack — fault handler, page cache with
+//     lazy/eager eviction, legacy block layer vs Leap's lean path, RDMA
+//     fabric, disk/SSD/remote devices — and reports latency distributions,
+//     cache behaviour, and application-level throughput.
+//
+//   - The remote-memory substrate: NewRemoteAgent/NewRemoteHost implement
+//     the slab-granular remote memory service of the paper's §4.4–4.5
+//     (power-of-two-choices placement, two-way replication) with in-process
+//     and TCP transports, moving real bytes.
+//
+// Everything is deterministic given a seed; nothing sleeps. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// results; cmd/leapbench regenerates every figure and table.
+package leap
+
+import (
+	"leap/internal/core"
+	"leap/internal/datapath"
+	"leap/internal/pagecache"
+	"leap/internal/prefetch"
+	"leap/internal/remote"
+	"leap/internal/storage"
+	"leap/internal/vmm"
+	"leap/internal/workload"
+)
+
+// PageID identifies a 4KB page in the remote (swap) address space.
+type PageID = core.PageID
+
+// PID identifies a simulated process.
+type PID = prefetch.PID
+
+// PredictorConfig parameterizes the core Leap predictor; zero values take
+// the paper's defaults (Hsize=32, Nsplit=2, PWsizemax=8).
+type PredictorConfig = core.Config
+
+// Predictor is the paper's per-process prefetch engine. Record page
+// accesses with Record or OnFault; receive prefetch candidates; report
+// consumed prefetches with NoteHit so the window adapts.
+type Predictor = core.Predictor
+
+// NewPredictor returns a Predictor for one process's fault stream.
+func NewPredictor(cfg PredictorConfig) *Predictor { return core.NewPredictor(cfg) }
+
+// MajorityVote exposes the Boyer–Moore majority vote the trend detector is
+// built on: it reports the element occurring more than half the time, if
+// one exists.
+func MajorityVote(xs []int64) (int64, bool) { return core.MajorityVote(xs) }
+
+// Prefetcher is the pluggable prefetching interface of the paging path; see
+// PrefetcherNames for available implementations.
+type Prefetcher = prefetch.Prefetcher
+
+// NewPrefetcher builds a prefetcher by name: "leap", "readahead", "stride",
+// "nextnline", or "none".
+func NewPrefetcher(name string) (Prefetcher, error) { return prefetch.New(name) }
+
+// NewLeapPrefetcher builds the Leap prefetcher with an explicit predictor
+// configuration (per-process isolation included).
+func NewLeapPrefetcher(cfg PredictorConfig) *prefetch.Leap { return prefetch.NewLeap(cfg) }
+
+// PrefetcherNames lists the registered prefetcher implementations.
+func PrefetcherNames() []string { return prefetch.Names() }
+
+// System selects a simulated configuration preset, mirroring the paper's
+// evaluation setups.
+type System int
+
+// Presets.
+const (
+	// SystemDisk swaps to local HDD through the stock kernel path.
+	SystemDisk System = iota
+	// SystemSSD swaps to local SSD through the stock kernel path.
+	SystemSSD
+	// SystemDVMM is Infiniswap-style remote paging on the default path
+	// (block layer, read-ahead, lazy eviction).
+	SystemDVMM
+	// SystemDVMMLeap is remote paging through the full Leap stack (lean
+	// path, majority-trend prefetcher, eager eviction).
+	SystemDVMMLeap
+)
+
+// Generator produces a deterministic page-access stream; build one with
+// NewSequentialWorkload, NewStrideWorkload, or NewAppWorkload.
+type Generator = workload.Generator
+
+// Workload describes one simulated process.
+type Workload struct {
+	// PID must be unique per process.
+	PID PID
+	// Generator produces the access stream; see NewSequentialWorkload,
+	// NewStrideWorkload, NewAppWorkload.
+	Generator workload.Generator
+	// MemoryLimitPages is the cgroup-style local memory budget.
+	MemoryLimitPages int64
+	// PreloadPages marks the first pages resident at start (defaults to the
+	// memory limit when negative).
+	PreloadPages int64
+}
+
+// SimConfig configures a simulation run.
+type SimConfig struct {
+	// System selects the preset stack.
+	System System
+	// Prefetcher overrides the preset's prefetcher when non-nil.
+	Prefetcher Prefetcher
+	// CacheCapacityPages bounds the prefetch cache (0 = cgroup-coupled).
+	CacheCapacityPages int
+	// WarmupAccesses and MeasuredAccesses size the run per process.
+	WarmupAccesses, MeasuredAccesses int64
+	// Seed drives every stochastic model; equal seeds replay exactly.
+	Seed uint64
+}
+
+// SimResult re-exports the simulation outcome.
+type SimResult = vmm.Result
+
+// Simulate runs the workloads against the selected system and returns the
+// aggregate result (latency percentiles, cache statistics, accuracy and
+// coverage, per-process throughput).
+func Simulate(cfg SimConfig, workloads []Workload) (SimResult, error) {
+	mcfg := systemConfig(cfg)
+	apps := make([]vmm.App, 0, len(workloads))
+	for _, w := range workloads {
+		preload := w.PreloadPages
+		if preload < 0 {
+			preload = w.MemoryLimitPages
+		}
+		apps = append(apps, vmm.App{
+			PID:          w.PID,
+			Gen:          w.Generator,
+			LimitPages:   w.MemoryLimitPages,
+			PreloadPages: preload,
+		})
+	}
+	warmup := cfg.WarmupAccesses
+	measured := cfg.MeasuredAccesses
+	if measured == 0 {
+		measured = 100000
+	}
+	_, res, err := vmm.Run(mcfg, apps, warmup, measured)
+	return res, err
+}
+
+// systemConfig maps a preset to a vmm configuration.
+func systemConfig(cfg SimConfig) vmm.Config {
+	var out vmm.Config
+	switch cfg.System {
+	case SystemDisk, SystemSSD, SystemDVMM:
+		pf, _ := prefetch.New("readahead")
+		out = vmm.Config{
+			Path:        datapath.Config{Kind: datapath.Legacy},
+			CachePolicy: pagecache.EvictLazy,
+			Prefetcher:  pf,
+			Seed:        cfg.Seed,
+		}
+		if cfg.System == SystemDisk {
+			out.Device = storage.NewHDD(newSeededRNG(cfg.Seed ^ 0xd15c))
+		}
+		if cfg.System == SystemSSD {
+			out.Device = storage.NewSSD(newSeededRNG(cfg.Seed ^ 0x55d))
+		}
+	case SystemDVMMLeap:
+		out = vmm.Config{
+			Path:        datapath.Config{Kind: datapath.Lean},
+			CachePolicy: pagecache.EvictEager,
+			Prefetcher:  prefetch.NewLeap(core.Config{}),
+			Seed:        cfg.Seed,
+		}
+	default:
+		out = vmm.Config{Seed: cfg.Seed}
+	}
+	if cfg.Prefetcher != nil {
+		out.Prefetcher = cfg.Prefetcher
+	}
+	out.CacheCapacity = cfg.CacheCapacityPages
+	return out
+}
+
+// NewSequentialWorkload scans pages linearly (the §2.2 Sequential
+// microbenchmark).
+func NewSequentialWorkload(pages int64, seed uint64) workload.Generator {
+	return workload.NewSequential(pages, seed)
+}
+
+// NewStrideWorkload scans with a fixed stride (Stride-10 with k=10).
+func NewStrideWorkload(pages, stride int64, seed uint64) workload.Generator {
+	return workload.NewStride(pages, stride, seed)
+}
+
+// NewAppWorkload instantiates one of the paper's application models:
+// "powergraph", "numpy", "voltdb", or "memcached".
+func NewAppWorkload(name string, seed uint64) (workload.Generator, bool) {
+	p, ok := workload.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	return workload.NewApp(p, seed), true
+}
+
+// RemotePageSize is the fixed page size of the remote-memory substrate.
+const RemotePageSize = remote.PageSize
+
+// RemoteAgent serves slab-granular remote memory (the donor side).
+type RemoteAgent = remote.Agent
+
+// NewRemoteAgent returns an agent donating maxSlabs slabs of slabPages
+// pages each (maxSlabs <= 0 means unlimited).
+func NewRemoteAgent(slabPages, maxSlabs int) *RemoteAgent {
+	return remote.NewAgent(slabPages, maxSlabs)
+}
+
+// RemoteHost maps pages onto remote agents with power-of-two-choices
+// placement and replication (the borrower side).
+type RemoteHost = remote.Host
+
+// RemoteHostConfig parameterizes a RemoteHost.
+type RemoteHostConfig = remote.HostConfig
+
+// RemoteTransport carries host→agent requests.
+type RemoteTransport = remote.Transport
+
+// NewRemoteHost builds a host over the given transports.
+func NewRemoteHost(cfg RemoteHostConfig, transports []RemoteTransport) (*RemoteHost, error) {
+	return remote.NewHost(cfg, transports)
+}
+
+// NewInProcTransport binds a transport directly to an agent in-process.
+func NewInProcTransport(a *RemoteAgent) RemoteTransport { return remote.NewInProc(a) }
+
+// DialRemoteAgent connects to a TCP agent (cmd/leapagent).
+func DialRemoteAgent(addr string) (RemoteTransport, error) { return remote.DialTCP(addr) }

@@ -1,0 +1,7 @@
+package leap
+
+import "leap/internal/sim"
+
+// newSeededRNG is a tiny indirection so the facade can seed device models
+// without exporting the sim package.
+func newSeededRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
