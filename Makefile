@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test bench smoke figures
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Record the benchmark baseline to BENCH_1.json (see scripts/bench.sh).
+bench:
+	scripts/bench.sh
+
+# Quick end-to-end check: one figure at test scale.
+smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig 1
+
+# Regenerate every figure and table at full scale.
+figures:
+	$(GO) run ./cmd/leapbench

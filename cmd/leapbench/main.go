@@ -2,18 +2,25 @@
 // evaluation on the simulation substrates. Each figure prints the same
 // rows/series the paper reports, next to the paper's headline values.
 //
+// Independent figures run concurrently (each driver owns its seed and
+// machines), with output printed in presentation order and per-figure wall
+// times reported, so results are byte-identical at any -parallel setting.
+//
 // Usage:
 //
-//	leapbench                  # run everything at full scale
+//	leapbench                  # run everything at full scale, in parallel
 //	leapbench -fig 7           # one figure
+//	leapbench -fig 1,7,9       # a comma-separated subset
 //	leapbench -fig ablations   # the DESIGN.md ablation sweeps
 //	leapbench -scale small     # quick pass (test-sized runs)
+//	leapbench -parallel 1      # sequential (same output, more wall time)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,9 +28,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to run: 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,ablations,all")
+	fig := flag.String("fig", "all", "figures to run: comma-separated subset of 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,ablations, or all")
 	scaleName := flag.String("scale", "full", "run scale: full or small")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max figures running concurrently (1 = sequential)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -37,47 +45,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	runners := []struct {
-		name string
-		run  func()
-	}{
-		{"1", func() { fmt.Println(experiments.Fig1(scale, *seed)) }},
-		{"2", func() { fmt.Println(experiments.Fig2(scale, *seed)) }},
-		{"3", func() { fmt.Println(experiments.Fig3(scale, *seed)) }},
-		{"4", func() { fmt.Println(experiments.Fig4(scale, *seed)) }},
-		{"table1", func() { fmt.Println(experiments.RenderTable1()) }},
-		{"7", func() { fmt.Println(experiments.Fig7(scale, *seed)) }},
-		{"8a", func() { fmt.Println(experiments.Fig8a(scale, *seed)) }},
-		{"8b", func() { fmt.Println(experiments.Fig8b(scale, *seed)) }},
-		{"9", func() { fmt.Println(experiments.Fig9(scale, *seed)) }},
-		{"10", func() { fmt.Println(experiments.Fig10(scale, *seed)) }},
-		{"11", func() { fmt.Println(experiments.Fig11(scale, *seed)) }},
-		{"12", func() { fmt.Println(experiments.Fig12(scale, *seed)) }},
-		{"13", func() { fmt.Println(experiments.Fig13(scale, *seed)) }},
-		{"ablations", func() {
-			fmt.Println(experiments.AblationMajorityVsStrict(scale, *seed))
-			fmt.Println(experiments.AblationWindowDoubling(scale, *seed))
-			fmt.Println(experiments.AblationEviction(scale, *seed))
-			fmt.Println(experiments.AblationIsolation(scale, *seed))
-			fmt.Println(experiments.AblationHistorySize(scale, *seed))
-			fmt.Println(experiments.AblationMaxWindow(scale, *seed))
-			fmt.Println(experiments.AblationThrottling(scale, *seed))
-		}},
+	known := experiments.Figures()
+	var names []string
+	if strings.EqualFold(*fig, "all") {
+		names = known
+	} else {
+		for _, want := range strings.Split(strings.ToLower(*fig), ",") {
+			want = strings.TrimSpace(want)
+			found := false
+			for _, n := range known {
+				if n == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "leapbench: unknown figure %q\n", want)
+				os.Exit(2)
+			}
+			names = append(names, want)
+		}
 	}
 
-	want := strings.ToLower(*fig)
-	matched := false
-	for _, r := range runners {
-		if want != "all" && want != r.name {
-			continue
-		}
-		matched = true
-		start := time.Now()
-		r.run()
-		fmt.Printf("[%s done in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
-	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "leapbench: unknown figure %q\n", *fig)
-		os.Exit(2)
+	start := time.Now()
+	var serial time.Duration
+	n := 0
+	// Results stream in presentation order as each figure (and everything
+	// before it) completes, so long tail figures don't buffer earlier output.
+	experiments.ForEach(names, scale, *seed, *parallel, func(r experiments.FigureResult) {
+		fmt.Println(r.Output)
+		fmt.Printf("[%s done in %v]\n\n", r.Name, r.Elapsed.Round(time.Millisecond))
+		serial += r.Elapsed
+		n++
+	})
+	if n > 1 {
+		fmt.Printf("[%d figures in %v wall (%v of figure time, parallel=%d)]\n",
+			n, time.Since(start).Round(time.Millisecond),
+			serial.Round(time.Millisecond), *parallel)
 	}
 }

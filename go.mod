@@ -1,0 +1,3 @@
+module leap
+
+go 1.24

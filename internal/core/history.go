@@ -68,6 +68,58 @@ func (h *AccessHistory) At(i int) int64 {
 // Reset forgets all recorded deltas.
 func (h *AccessHistory) Reset() { h.n = 0; h.head = 0 }
 
+// voteRange continues a Boyer–Moore election over the recency range
+// [from, to): it feeds entries At(from)..At(to-1) into the running
+// (candidate, count) state and returns the updated state. Feeding ranges
+// [0,a) then [a,b) is exactly equivalent to a single scan of [0,b), which is
+// what lets FindTrend reuse the election across its doubling windows. The
+// ring is walked directly to keep this loop free of per-element call and
+// bounds-check overhead — it runs on every simulated page fault.
+func (h *AccessHistory) voteRange(candidate int64, count, from, to int) (int64, int) {
+	if to > h.n {
+		to = h.n
+	}
+	idx := h.head - from
+	if idx < 0 {
+		idx += len(h.deltas)
+	}
+	for i := from; i < to; i++ {
+		x := h.deltas[idx]
+		switch {
+		case count == 0:
+			candidate, count = x, 1
+		case x == candidate:
+			count++
+		default:
+			count--
+		}
+		idx--
+		if idx < 0 {
+			idx = len(h.deltas) - 1
+		}
+	}
+	return candidate, count
+}
+
+// occurrences counts how many of the w most recent entries equal x.
+func (h *AccessHistory) occurrences(x int64, w int) int {
+	if w > h.n {
+		w = h.n
+	}
+	idx := h.head
+	occ := 0
+	for i := 0; i < w; i++ {
+		if h.deltas[idx] == x {
+			occ++
+		}
+		idx--
+		if idx < 0 {
+			idx = len(h.deltas) - 1
+		}
+	}
+	return occ
+}
+
 // Snapshot appends the deltas newest-first to dst and returns it, for
 // debugging and tests.
 func (h *AccessHistory) Snapshot(dst []int64) []int64 {

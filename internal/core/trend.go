@@ -10,8 +10,46 @@ package core
 // strong (a regular trend is majority in any suffix); growing the window
 // tolerates short-term irregularities that would hide the trend from a small
 // window (see the t8 step of the paper's Figure 5 walk-through).
+//
+// The election state is carried across the doubling windows: a Boyer–Moore
+// scan of window 2w processes the same elements in the same order as the
+// scan of window w plus the w..2w-1 extension, so each history entry is fed
+// to the election exactly once per call no matter how many times the window
+// doubles. Only the verification pass (a geometric series, <= 2·Hsize total)
+// re-reads earlier entries.
 func FindTrend(h *AccessHistory, nsplit int) (int64, bool) {
-	return findTrend(h, nsplit, majorityInWindow)
+	hsize := h.Cap()
+	if nsplit < 1 {
+		nsplit = 1
+	}
+	w := hsize / nsplit
+	if w < 1 {
+		w = 1
+	}
+	var candidate int64
+	count := 0
+	scanned := 0
+	for {
+		lim := w
+		if lim > h.n {
+			lim = h.n
+		}
+		if lim > scanned {
+			candidate, count = h.voteRange(candidate, count, scanned, lim)
+			scanned = lim
+		}
+		if lim > 0 && h.occurrences(candidate, lim) >= lim/2+1 {
+			return candidate, true
+		}
+		if w >= hsize || w >= h.n {
+			// Window already covers everything recorded; no trend.
+			return 0, false
+		}
+		w *= 2
+		if w > hsize {
+			w = hsize
+		}
+	}
 }
 
 // FindTrendStrict is the ablation variant: a trend exists only when every

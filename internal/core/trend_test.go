@@ -2,6 +2,43 @@ package core
 
 import "testing"
 
+// findTrendReference is the pre-optimization FindTrend: a from-scratch
+// majority election per doubling window. The incremental version must agree
+// with it on every history.
+func findTrendReference(h *AccessHistory, nsplit int) (int64, bool) {
+	return findTrend(h, nsplit, majorityInWindow)
+}
+
+func TestFindTrendMatchesReference(t *testing.T) {
+	// Deterministic xorshift so the test needs no seed plumbing.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(n int64) int64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int64(state % uint64(n))
+	}
+	for _, hsize := range []int{2, 4, 8, 32, 64} {
+		for _, nsplit := range []int{1, 2, 4, 8} {
+			if nsplit > hsize {
+				continue
+			}
+			h := NewAccessHistory(hsize)
+			// Check at every fill level, including partially filled and
+			// wrapped rings, with a small delta alphabet so majorities occur.
+			for i := 0; i < 3*hsize; i++ {
+				h.Push(next(4) - 1)
+				gotD, gotOK := FindTrend(h, nsplit)
+				wantD, wantOK := findTrendReference(h, nsplit)
+				if gotD != wantD || gotOK != wantOK {
+					t.Fatalf("hsize=%d nsplit=%d push#%d %v: FindTrend = (%d,%v), reference = (%d,%v)",
+						hsize, nsplit, i, h, gotD, gotOK, wantD, wantOK)
+				}
+			}
+		}
+	}
+}
+
 // TestFindTrendPaperExample replays the worked example of §3.2.1 / Figure 5:
 // Hsize=8, Nsplit=2, addresses 0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04,
 // 0x06, 0x08, 0x0A, 0x0C, 0x10, 0x39, 0x12, 0x14, 0x16. The paper's timeline

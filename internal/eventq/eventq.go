@@ -1,0 +1,94 @@
+// Package eventq provides a typed, non-boxing binary min-heap for the
+// simulators' event queues. container/heap forces every element through an
+// interface{}, which costs an allocation per Push on the fault path; this
+// heap stores elements inline in a slice instead.
+//
+// The sift-up/sift-down order is bit-for-bit the same as container/heap's,
+// so replacing a container/heap user changes neither the pop order of
+// equal-priority elements nor, therefore, any downstream simulation result.
+package eventq
+
+// Heap is a binary min-heap ordered by less. The zero value is unusable;
+// construct with New. Not safe for concurrent use.
+type Heap[T any] struct {
+	s    []T
+	less func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len reports the number of queued elements.
+func (h *Heap[T]) Len() int { return len(h.s) }
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap, like indexing container/heap's underlying slice would.
+func (h *Heap[T]) Peek() T { return h.s[0] }
+
+// Push queues x.
+func (h *Heap[T]) Push(x T) {
+	h.s = append(h.s, x)
+	h.up(len(h.s) - 1)
+}
+
+// Pop removes and returns the minimum element.
+func (h *Heap[T]) Pop() T {
+	n := len(h.s) - 1
+	h.s[0], h.s[n] = h.s[n], h.s[0]
+	h.down(0, n)
+	x := h.s[n]
+	var zero T
+	h.s[n] = zero // release references held by pointer-bearing elements
+	h.s = h.s[:n]
+	return x
+}
+
+// Fix re-establishes the heap ordering after the element at index i changed
+// its key; it is the container/heap Fix.
+func (h *Heap[T]) Fix(i int) {
+	if !h.down(i, len(h.s)) {
+		h.up(i)
+	}
+}
+
+// Reset empties the heap, keeping its backing storage for reuse.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.s {
+		h.s[i] = zero
+	}
+	h.s = h.s[:0]
+}
+
+func (h *Heap[T]) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(h.s[j], h.s[i]) {
+			break
+		}
+		h.s[i], h.s[j] = h.s[j], h.s[i]
+		j = i
+	}
+}
+
+func (h *Heap[T]) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(h.s[j2], h.s[j1]) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(h.s[j], h.s[i]) {
+			break
+		}
+		h.s[i], h.s[j] = h.s[j], h.s[i]
+		i = j
+	}
+	return i > i0
+}

@@ -1,0 +1,114 @@
+package eventq
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refHeap is a container/heap implementation over the same element type,
+// used to prove the pop order — including ties — is identical.
+type refElem struct {
+	key int
+	seq int
+}
+
+type refHeap []refElem
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refElem)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func TestMatchesContainerHeapIncludingTies(t *testing.T) {
+	// Deterministic pseudo-random keys from a small alphabet so ties are
+	// frequent: equal-key elements must pop in exactly container/heap's
+	// order, since simulation results depend on it.
+	state := uint64(12345)
+	next := func() int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % 8)
+	}
+	q := New(func(a, b refElem) bool { return a.key < b.key })
+	var ref refHeap
+	seq := 0
+	push := func() {
+		e := refElem{key: next(), seq: seq}
+		seq++
+		q.Push(e)
+		heap.Push(&ref, e)
+	}
+	popBoth := func() {
+		got := q.Pop()
+		want := heap.Pop(&ref).(refElem)
+		if got != want {
+			t.Fatalf("pop mismatch: got %+v, want %+v", got, want)
+		}
+	}
+	// Interleave pushes and pops in a fixed pattern.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 1+round%5; i++ {
+			push()
+		}
+		for i := 0; i < round%3 && q.Len() > 0; i++ {
+			popBoth()
+		}
+	}
+	for q.Len() > 0 {
+		popBoth()
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("reference heap still has %d elements", ref.Len())
+	}
+}
+
+func TestPushPopDoesNotAllocate(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	for i := 0; i < 1024; i++ {
+		q.Push(i ^ 0x2a)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	// Steady state: capacity is retained, so push/pop cycles are free.
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(64 - i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop cycle allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestFixAndReset(t *testing.T) {
+	type item struct{ key, id int }
+	q := New(func(a, b item) bool { return a.key < b.key })
+	q.Push(item{key: 5, id: 1})
+	q.Push(item{key: 3, id: 2})
+	q.Push(item{key: 8, id: 3})
+	q.s[0].key = 9 // demote the current min in place
+	q.Fix(0)
+	if got := q.Pop(); got.key != 5 {
+		t.Fatalf("after Fix, min key = %d, want 5", got.key)
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Reset left %d elements", q.Len())
+	}
+	q.Push(item{key: 1})
+	if q.Peek().key != 1 {
+		t.Fatal("heap unusable after Reset")
+	}
+}

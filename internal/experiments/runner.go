@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FigureResult is one figure driver's rendered output plus how long it took
+// in wall time. Output is deterministic given (name, Scale, seed); Elapsed
+// is the only field that varies between runs.
+type FigureResult struct {
+	Name    string
+	Output  string
+	Elapsed time.Duration
+}
+
+// figureRunner pairs a figure name with its driver. Drivers are pure:
+// each builds its own machines from (Scale, seed), so distinct figures can
+// run concurrently.
+type figureRunner struct {
+	name string
+	run  func(Scale, uint64) string
+}
+
+// figureRegistry lists every figure in the paper's presentation order.
+var figureRegistry = []figureRunner{
+	{"1", func(s Scale, seed uint64) string { return fmt.Sprint(Fig1(s, seed)) }},
+	{"2", func(s Scale, seed uint64) string { return fmt.Sprint(Fig2(s, seed)) }},
+	{"3", func(s Scale, seed uint64) string { return fmt.Sprint(Fig3(s, seed)) }},
+	{"4", func(s Scale, seed uint64) string { return fmt.Sprint(Fig4(s, seed)) }},
+	{"table1", func(Scale, uint64) string { return RenderTable1() }},
+	{"7", func(s Scale, seed uint64) string { return fmt.Sprint(Fig7(s, seed)) }},
+	{"8a", func(s Scale, seed uint64) string { return fmt.Sprint(Fig8a(s, seed)) }},
+	{"8b", func(s Scale, seed uint64) string { return fmt.Sprint(Fig8b(s, seed)) }},
+	{"9", func(s Scale, seed uint64) string { return fmt.Sprint(Fig9(s, seed)) }},
+	{"10", func(s Scale, seed uint64) string { return fmt.Sprint(Fig10(s, seed)) }},
+	{"11", func(s Scale, seed uint64) string { return fmt.Sprint(Fig11(s, seed)) }},
+	{"12", func(s Scale, seed uint64) string { return fmt.Sprint(Fig12(s, seed)) }},
+	{"13", func(s Scale, seed uint64) string { return fmt.Sprint(Fig13(s, seed)) }},
+	{"ablations", func(s Scale, seed uint64) string {
+		parts := []string{
+			fmt.Sprint(AblationMajorityVsStrict(s, seed)),
+			fmt.Sprint(AblationWindowDoubling(s, seed)),
+			fmt.Sprint(AblationEviction(s, seed)),
+			fmt.Sprint(AblationIsolation(s, seed)),
+			fmt.Sprint(AblationHistorySize(s, seed)),
+			fmt.Sprint(AblationMaxWindow(s, seed)),
+			fmt.Sprint(AblationThrottling(s, seed)),
+		}
+		return strings.Join(parts, "\n")
+	}},
+}
+
+// Figures reports the registered figure names in presentation order.
+func Figures() []string {
+	names := make([]string, len(figureRegistry))
+	for i, r := range figureRegistry {
+		names[i] = r.name
+	}
+	return names
+}
+
+// RunFigure runs one named figure, reporting false for an unknown name.
+func RunFigure(name string, s Scale, seed uint64) (FigureResult, bool) {
+	for _, r := range figureRegistry {
+		if r.name == name {
+			start := time.Now()
+			out := r.run(s, seed)
+			return FigureResult{Name: name, Output: out, Elapsed: time.Since(start)}, true
+		}
+	}
+	return FigureResult{}, false
+}
+
+// RunAll runs the named figures with up to parallelism concurrent workers
+// and returns results in input order. Every driver owns its seed and
+// machines, so concurrency cannot perturb outputs: RunAll(names, s, seed, 8)
+// produces the same Output fields as running the names one at a time.
+// Unknown names produce a result whose Output is an error line, keeping
+// positions stable. parallelism < 1 means one worker per figure.
+func RunAll(names []string, s Scale, seed uint64, parallelism int) []FigureResult {
+	results := make([]FigureResult, 0, len(names))
+	ForEach(names, s, seed, parallelism, func(r FigureResult) {
+		results = append(results, r)
+	})
+	return results
+}
+
+// ForEach is RunAll with streaming: emit is called once per figure, in
+// input order, as soon as that figure and everything before it have
+// finished — so a long tail figure doesn't hold earlier output hostage.
+// emit runs on the caller's goroutine.
+func ForEach(names []string, s Scale, seed uint64, parallelism int, emit func(FigureResult)) {
+	if parallelism < 1 || parallelism > len(names) {
+		parallelism = len(names)
+	}
+	results := make([]FigureResult, len(names))
+	done := make([]chan struct{}, len(names))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			for i := range work {
+				res, ok := RunFigure(names[i], s, seed)
+				if !ok {
+					res = FigureResult{
+						Name:   names[i],
+						Output: fmt.Sprintf("unknown figure %q", names[i]),
+					}
+				}
+				results[i] = res
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range names {
+			work <- i
+		}
+		close(work)
+	}()
+	for i := range names {
+		<-done[i]
+		emit(results[i])
+	}
+}

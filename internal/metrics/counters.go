@@ -10,22 +10,41 @@ import (
 // Counters is a named counter set with deterministic (sorted) rendering.
 // The zero value is ready to use.
 type Counters struct {
-	m map[string]int64
+	m map[string]*int64
+}
+
+// Handle returns a stable pointer to the named counter, creating it at zero
+// if needed. Hot paths resolve their handles once and increment through the
+// pointer, skipping the per-event map lookup; Get/Names/String observe the
+// same cell. Note that resolving a handle makes the counter exist: it
+// appears in Names/String/Merge at zero even if never incremented.
+func (c *Counters) Handle(name string) *int64 {
+	if c.m == nil {
+		c.m = make(map[string]*int64)
+	}
+	p, ok := c.m[name]
+	if !ok {
+		p = new(int64)
+		c.m[name] = p
+	}
+	return p
 }
 
 // Add increments the named counter by delta.
 func (c *Counters) Add(name string, delta int64) {
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] += delta
+	*c.Handle(name) += delta
 }
 
 // Inc increments the named counter by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get reports the named counter's value (0 if never touched).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	if p, ok := c.m[name]; ok {
+		return *p
+	}
+	return 0
+}
 
 // Names reports the sorted set of counter names.
 func (c *Counters) Names() []string {
@@ -40,7 +59,7 @@ func (c *Counters) Names() []string {
 // Merge adds all of o's counters into c.
 func (c *Counters) Merge(o *Counters) {
 	for n, v := range o.m {
-		c.Add(n, v)
+		c.Add(n, *v)
 	}
 }
 
@@ -51,7 +70,7 @@ func (c *Counters) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+		fmt.Fprintf(&b, "%s=%d", n, *c.m[n])
 	}
 	return b.String()
 }

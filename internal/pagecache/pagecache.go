@@ -24,6 +24,7 @@ import (
 
 	"leap/internal/core"
 	"leap/internal/metrics"
+	"leap/internal/pagemap"
 	"leap/internal/sim"
 )
 
@@ -122,13 +123,29 @@ type Cache struct {
 	OnEvict func(PageID)
 
 	cfg     Config
-	entries map[PageID]*entry
+	entries *pagemap.Map[*entry]
 
 	// Global LRU: head = most recent, tail = eviction candidate.
 	lruHead, lruTail *entry
 	// Leap's PrefetchFifoLruList: head = oldest prefetched page.
 	fifoHead, fifoTail *entry
 	fifoLen            int
+
+	// free is a free list of entry nodes (linked through lruNext): the
+	// insert/evict churn of a paging workload recycles entries instead of
+	// allocating one per Insert and leaving the GC to sweep the corpses.
+	free *entry
+
+	// staleLen counts resident consumed entries, kept in step with the
+	// consumed flag so AllocLatency can price the allocator's scan without
+	// re-walking the LRU list.
+	staleLen int
+	// minInserted is a lower bound on every resident entry's insertedAt
+	// (tightened whenever a reclaim walk covers the whole list). With
+	// staleLen it lets ReclaimAged prove "nothing is reclaimable" without
+	// walking: if even the oldest possible entry is within the grace period,
+	// so is everything else.
+	minInserted sim.Time
 
 	lastScan sim.Time
 	stats    Stats
@@ -141,7 +158,7 @@ type Cache struct {
 
 // New returns an empty cache.
 func New(cfg Config) *Cache {
-	return &Cache{cfg: cfg.withDefaults(), entries: make(map[PageID]*entry)}
+	return &Cache{cfg: cfg.withDefaults(), entries: pagemap.New[*entry](0)}
 }
 
 // Config reports the effective configuration.
@@ -151,12 +168,11 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Len reports the number of resident entries.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return c.entries.Len() }
 
 // Contains reports whether page is resident without touching LRU state.
 func (c *Cache) Contains(page PageID) bool {
-	_, ok := c.entries[page]
-	return ok
+	return c.entries.Contains(page)
 }
 
 // Lookup consults the cache for page at virtual time now. On a hit the entry
@@ -164,7 +180,7 @@ func (c *Cache) Contains(page PageID) bool {
 // prefetched entry is freed immediately (§4.3). It reports whether the page
 // was present and whether the hit landed on a prefetched entry.
 func (c *Cache) Lookup(page PageID, now sim.Time) (hit, wasPrefetched bool) {
-	e, ok := c.entries[page]
+	e, ok := c.entries.Get(page)
 	if !ok {
 		c.stats.Misses++
 		return false, false
@@ -180,6 +196,7 @@ func (c *Cache) Lookup(page PageID, now sim.Time) (hit, wasPrefetched bool) {
 	if !e.consumed {
 		e.consumed = true
 		e.consumedAt = now
+		c.staleLen++
 	}
 	if c.cfg.Policy == EvictEager && e.prefetched {
 		// Eager eviction: the page table now owns the page; release the
@@ -200,12 +217,15 @@ func (c *Cache) Lookup(page PageID, now sim.Time) (hit, wasPrefetched bool) {
 // only. If the cache is over capacity, victims are reclaimed immediately
 // according to the policy.
 func (c *Cache) Insert(page PageID, prefetched bool, now sim.Time) bool {
-	if e, ok := c.entries[page]; ok {
+	if e, ok := c.entries.Get(page); ok {
 		c.lruMoveFront(e)
 		return false
 	}
-	e := &entry{page: page, prefetched: prefetched, insertedAt: now}
-	c.entries[page] = e
+	e := c.newEntry(page, prefetched, now)
+	if c.entries.Len() == 0 || now < c.minInserted {
+		c.minInserted = now
+	}
+	c.entries.Put(page, e)
 	c.lruPushFront(e)
 	if prefetched {
 		c.fifoPushBack(e)
@@ -221,7 +241,7 @@ func (c *Cache) Insert(page PageID, prefetched bool, now sim.Time) bool {
 // Drop removes page if resident, without counting an eviction (used when the
 // owning process exits).
 func (c *Cache) Drop(page PageID) {
-	if e, ok := c.entries[page]; ok {
+	if e, ok := c.entries.Get(page); ok {
 		c.remove(e)
 	}
 }
@@ -231,7 +251,7 @@ func (c *Cache) enforceCapacity(now sim.Time) {
 	if c.cfg.Capacity <= 0 {
 		return
 	}
-	for len(c.entries) > c.cfg.Capacity {
+	for c.entries.Len() > c.cfg.Capacity {
 		c.evictOne(now)
 	}
 }
@@ -276,10 +296,10 @@ func (c *Cache) Tick(now sim.Time) {
 	if c.cfg.Capacity > 0 {
 		high := int(float64(c.cfg.Capacity) * c.cfg.HighWatermark)
 		low := int(float64(c.cfg.Capacity) * c.cfg.LowWatermark)
-		if len(c.entries) <= high {
+		if c.entries.Len() <= high {
 			return
 		}
-		for len(c.entries) > low && c.lruTail != nil {
+		for c.entries.Len() > low && c.lruTail != nil {
 			c.evict(c.lruTail, now)
 		}
 		return
@@ -306,7 +326,7 @@ func (c *Cache) Tick(now sim.Time) {
 // pages linger, which is precisely the Figure 4 waste.
 func (c *Cache) ReclaimLRU(n int, now sim.Time) int {
 	freed := 0
-	for freed < n && len(c.entries) > 0 {
+	for freed < n && c.entries.Len() > 0 {
 		c.evictOne(now)
 		freed++
 	}
@@ -320,15 +340,33 @@ func (c *Cache) ReclaimLRU(n int, now sim.Time) int {
 // cancel a prefetch that is about to be used; a flooding prefetcher's
 // stale junk does not. Returns the number reclaimed.
 func (c *Cache) ReclaimAged(n int, minAge sim.Duration, now sim.Time) int {
+	// Nothing consumed and even the oldest entry still within the grace
+	// period: the walk below cannot free anything — skip it. This is the
+	// common case when a well-behaved prefetcher keeps only fresh pages.
+	if c.staleLen == 0 && now.Sub(c.minInserted) <= minAge {
+		return 0
+	}
 	freed := 0
+	walkedAll := true
+	oldest := now
 	e := c.lruTail
-	for e != nil && freed < n {
+	for e != nil {
+		if freed >= n {
+			walkedAll = false
+			break
+		}
 		prev := e.lruPrev
 		if e.consumed || now.Sub(e.insertedAt) > minAge {
 			c.evict(e, now)
 			freed++
+		} else if e.insertedAt < oldest {
+			oldest = e.insertedAt
 		}
 		e = prev
+	}
+	if walkedAll {
+		// Every survivor was visited, so the bound is now exact.
+		c.minInserted = oldest
 	}
 	return freed
 }
@@ -336,15 +374,7 @@ func (c *Cache) ReclaimAged(n int, minAge sim.Duration, now sim.Time) int {
 // StaleCount reports the number of consumed entries still occupying the
 // cache — the population the allocator must scan past (Fig. 4's wasted
 // area).
-func (c *Cache) StaleCount() int {
-	n := 0
-	for e := c.lruHead; e != nil; e = e.lruNext {
-		if e.consumed {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) StaleCount() int { return c.staleLen }
 
 // AllocLatency models the page-allocation delay a fetch pays before data
 // can land: a base cost plus scan time proportional to the stale fraction
@@ -357,20 +387,42 @@ func (c *Cache) AllocLatency() sim.Duration {
 		scanSpan  = 750 * sim.Nanosecond
 		sampleCap = 4096 // bound the scan-cost estimate work
 	)
-	if len(c.entries) == 0 {
+	n := c.entries.Len()
+	if n == 0 {
 		return base
 	}
-	// Estimate the stale fraction by walking from the LRU tail (where the
-	// allocator scans), bounded to keep the simulation O(1)-ish.
-	scanned, stale := 0, 0
-	for e := c.lruTail; e != nil && scanned < sampleCap; e = e.lruPrev {
-		scanned++
-		if e.consumed {
-			stale++
+	// Estimate the stale fraction the allocator scans past. When the whole
+	// list fits in the sample the running staleLen gives the same count a
+	// tail walk would; only oversized caches pay the bounded walk.
+	scanned, stale := n, c.staleLen
+	if n > sampleCap {
+		scanned, stale = 0, 0
+		for e := c.lruTail; e != nil && scanned < sampleCap; e = e.lruPrev {
+			scanned++
+			if e.consumed {
+				stale++
+			}
 		}
 	}
 	frac := float64(stale) / float64(scanned)
 	return base + sim.Duration(float64(scanSpan)*frac)
+}
+
+// newEntry takes a node off the free list, or allocates when it is empty.
+func (c *Cache) newEntry(page PageID, prefetched bool, now sim.Time) *entry {
+	e := c.free
+	if e == nil {
+		return &entry{page: page, prefetched: prefetched, insertedAt: now}
+	}
+	c.free = e.lruNext
+	*e = entry{page: page, prefetched: prefetched, insertedAt: now}
+	return e
+}
+
+// freeEntry returns a fully unlinked node to the free list.
+func (c *Cache) freeEntry(e *entry) {
+	e.lruNext = c.free
+	c.free = e
 }
 
 // --- intrusive list plumbing ---
@@ -445,8 +497,12 @@ func (c *Cache) fifoUnlink(e *entry) {
 func (c *Cache) remove(e *entry) {
 	c.lruUnlink(e)
 	c.fifoUnlink(e)
-	delete(c.entries, e.page)
+	if e.consumed {
+		c.staleLen--
+	}
+	c.entries.Delete(e.page)
 	if c.OnEvict != nil {
 		c.OnEvict(e.page)
 	}
+	c.freeEntry(e)
 }

@@ -288,7 +288,7 @@ func TestListIntegrityProperty(t *testing.T) {
 		n := 0
 		var prev *entry
 		for e := c.lruHead; e != nil; e = e.lruNext {
-			if c.entries[e.page] != e {
+			if got, _ := c.entries.Get(e.page); got != e {
 				return false
 			}
 			if e.lruPrev != prev {
@@ -296,11 +296,11 @@ func TestListIntegrityProperty(t *testing.T) {
 			}
 			prev = e
 			n++
-			if n > len(c.entries) {
+			if n > c.entries.Len() {
 				return false // cycle
 			}
 		}
-		if n != len(c.entries) || c.lruTail != prev {
+		if n != c.entries.Len() || c.lruTail != prev {
 			return false
 		}
 		// FIFO list only holds prefetched, unconsumed, resident entries.
@@ -309,11 +309,11 @@ func TestListIntegrityProperty(t *testing.T) {
 			if !e.prefetched || e.consumed {
 				return false
 			}
-			if c.entries[e.page] != e {
+			if got, _ := c.entries.Get(e.page); got != e {
 				return false
 			}
 			m++
-			if m > len(c.entries) {
+			if m > c.entries.Len() {
 				return false
 			}
 		}
@@ -403,5 +403,43 @@ func TestOnEvictCallback(t *testing.T) {
 	c.Drop(2)            // drop also fires the callback
 	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
 		t.Fatalf("OnEvict calls = %v, want [1 2]", evicted)
+	}
+}
+
+func TestInsertEvictSteadyStateDoesNotAllocate(t *testing.T) {
+	// A bounded cache under constant insert pressure recycles entries from
+	// the free list; the steady-state fault path must not allocate.
+	c := New(Config{Capacity: 64, Policy: EvictEager})
+	next := PageID(0)
+	for i := 0; i < 256; i++ { // warm the map and the free list
+		c.Insert(next, true, sim.Time(i))
+		next++
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			c.Insert(next, true, 0)
+			c.Lookup(next, 0) // eager policy frees the entry on consumption
+			next++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state insert/evict allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestPooledEntriesResetState(t *testing.T) {
+	// A recycled entry must not leak the previous occupant's flags: insert a
+	// consumed prefetched page, evict it, and reuse the node for a demand
+	// page — which must neither count as a prefetch hit nor join the FIFO.
+	c := New(Config{Policy: EvictEager})
+	c.Insert(1, true, 0)
+	c.Lookup(1, 5) // consumed; eager policy frees the entry to the pool
+	c.Insert(2, false, 10)
+	if hit, wasPre := c.Lookup(2, 11); !hit || wasPre {
+		t.Fatalf("recycled entry kept stale state: hit=%v wasPrefetched=%v", hit, wasPre)
+	}
+	st := c.Stats()
+	if st.PrefetchHits != 1 {
+		t.Fatalf("PrefetchHits = %d, want 1 (only the genuine prefetched page)", st.PrefetchHits)
 	}
 }

@@ -1,0 +1,89 @@
+package pagemap
+
+import (
+	"testing"
+
+	"leap/internal/core"
+)
+
+// TestDifferentialAgainstBuiltinMap drives the same pseudo-random operation
+// stream through Map and a builtin map and requires identical observable
+// behavior at every step.
+func TestDifferentialAgainstBuiltinMap(t *testing.T) {
+	m := New[int64](0)
+	ref := make(map[core.PageID]int64)
+
+	state := uint64(0xC0FFEE)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	// Keys from a small space so puts, overwrites and deletes collide;
+	// include the pid<<40 namespacing pattern the simulators use.
+	key := func() core.PageID {
+		k := core.PageID(next() % 512)
+		if next()%4 == 0 {
+			k |= core.PageID(int64(1+next()%3) << 40)
+		}
+		return k
+	}
+	for op := 0; op < 200000; op++ {
+		k := key()
+		switch next() % 4 {
+		case 0, 1:
+			v := int64(next())
+			m.Put(k, v)
+			ref[k] = v
+		case 2:
+			m.Delete(k)
+			delete(ref, k)
+		default:
+			got, ok := m.Get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || got != want {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", op, k, got, ok, want, wantOK)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final: Get(%d) = (%d,%v), want (%d,true)", k, got, ok, want)
+		}
+	}
+}
+
+func TestSteadyStateChurnDoesNotAllocate(t *testing.T) {
+	m := New[int64](256)
+	for i := 0; i < 256; i++ {
+		m.Put(core.PageID(i), int64(i))
+	}
+	k := core.PageID(1000)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			m.Put(k+core.PageID(i), 1)
+		}
+		for i := 0; i < 64; i++ {
+			m.Delete(k + core.PageID(i))
+		}
+	})
+	// Tombstone purges rebuild into same-size tables; churn may trigger an
+	// occasional rehash but must not allocate per operation.
+	if allocs > 1 {
+		t.Fatalf("churn allocated %.2f times per run, want <= 1", allocs)
+	}
+}
+
+func TestPointerValuesReleasedOnDelete(t *testing.T) {
+	type big struct{ buf [64]byte }
+	m := New[*big](0)
+	m.Put(1, &big{})
+	m.Delete(1)
+	if v, ok := m.Get(1); ok || v != nil {
+		t.Fatalf("Get after Delete = (%v,%v)", v, ok)
+	}
+}

@@ -13,7 +13,12 @@ type Leap struct {
 
 	cfg   core.Config
 	procs map[PID]*core.Predictor
-	buf   []core.PageID
+
+	// lastPID/lastPred memoize the most recent predictor lookup: the fault
+	// path typically issues runs of accesses from one process, and the
+	// map hit per access is measurable at simulation scale.
+	lastPID  PID
+	lastPred *core.Predictor
 }
 
 // NewLeap returns a Leap prefetcher; zero Config fields take the paper's
@@ -29,11 +34,15 @@ func (p *Leap) predictor(pid PID) *core.Predictor {
 	if p.Shared {
 		pid = 0
 	}
+	if p.lastPred != nil && p.lastPID == pid {
+		return p.lastPred
+	}
 	pr, ok := p.procs[pid]
 	if !ok {
 		pr = core.NewPredictor(p.cfg)
 		p.procs[pid] = pr
 	}
+	p.lastPID, p.lastPred = pid, pr
 	return pr
 }
 
@@ -46,15 +55,17 @@ func (p *Leap) OnAccess(pid PID, page PageID, miss bool, dst []PageID) []PageID 
 	if !miss {
 		return dst
 	}
-	p.buf = pr.PredictInto(page, p.buf[:0])
-	return append(dst, p.buf...)
+	return pr.PredictInto(page, dst)
 }
 
 // OnPrefetchHit implements Prefetcher.
 func (p *Leap) OnPrefetchHit(pid PID) { p.predictor(pid).NoteHit() }
 
 // Reset implements Prefetcher.
-func (p *Leap) Reset() { p.procs = make(map[PID]*core.Predictor) }
+func (p *Leap) Reset() {
+	p.procs = make(map[PID]*core.Predictor)
+	p.lastPred = nil
+}
 
 // ProcessStats reports the per-process predictor statistics, keyed by PID
 // (key 0 when Shared).

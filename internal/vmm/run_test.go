@@ -1,0 +1,111 @@
+package vmm
+
+import (
+	"reflect"
+	"testing"
+
+	"leap/internal/workload"
+)
+
+// runLinearScanReference is the pre-heap scheduler: an O(P) scan per step
+// that picks the first proc holding the smallest clock. The heap scheduler
+// must reproduce its pick sequence exactly.
+func runLinearScanReference(m *Machine, accesses int64) {
+	target := make(map[PID]int64, len(m.procs))
+	for _, p := range m.procs {
+		target[p.app.PID] = p.accesses + accesses
+	}
+	for {
+		var next *proc
+		for _, p := range m.procs {
+			if p.accesses >= target[p.app.PID] {
+				continue
+			}
+			if next == nil || p.clock < next.clock {
+				next = p
+			}
+		}
+		if next == nil {
+			return
+		}
+		m.step(next)
+	}
+}
+
+// mixedApps builds a process mix with identical generators on some PIDs so
+// clock ties actually occur (every proc starts at clock 0).
+func mixedApps() []App {
+	return []App{
+		{PID: 1, Gen: workload.NewSequential(1<<18, 5), LimitPages: 2048},
+		{PID: 2, Gen: workload.NewStride(1<<18, 10, 5), LimitPages: 2048},
+		{PID: 3, Gen: workload.NewSequential(1<<18, 5), LimitPages: 2048}, // same seed as PID 1: lockstep clocks
+		{PID: 4, Gen: workload.NewApp(workload.VoltDBProfile(), 9), LimitPages: 4096},
+		{PID: 5, Gen: workload.NewUniform(1<<16, 7), LimitPages: 1024},
+	}
+}
+
+func TestHeapSchedulerMatchesLinearScan(t *testing.T) {
+	mk := func() *Machine {
+		m, err := NewMachine(leanLeap(77), mixedApps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	heapM, refM := mk(), mk()
+
+	// Split across two Run calls to exercise carried-over targets too.
+	heapM.Run(2000)
+	heapM.Run(1000)
+	runLinearScanReference(refM, 2000)
+	runLinearScanReference(refM, 1000)
+
+	got, want := heapM.Collect(), refM.Collect()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("heap scheduler diverged from linear-scan reference:\n got %+v\nwant %+v", got, want)
+	}
+	for _, p := range heapM.procs {
+		if rp := refM.byPID[p.app.PID]; p.clock != rp.clock || p.accesses != rp.accesses {
+			t.Fatalf("pid %d: clock/accesses (%v,%d) vs reference (%v,%d)",
+				p.app.PID, p.clock, p.accesses, rp.clock, rp.accesses)
+		}
+	}
+}
+
+func TestRunZeroAccessesIsNoop(t *testing.T) {
+	m, err := NewMachine(leanLeap(3), mixedApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	m.Run(-5)
+	for _, p := range m.procs {
+		if p.accesses != 0 || p.clock != 0 {
+			t.Fatalf("pid %d advanced on empty run: accesses=%d clock=%v",
+				p.app.PID, p.accesses, p.clock)
+		}
+	}
+}
+
+func TestManyProcessScheduling(t *testing.T) {
+	// The Fig13-style high-process-count case the heap exists for: every
+	// proc must complete exactly its quota regardless of interleaving.
+	var apps []App
+	for pid := 1; pid <= 24; pid++ {
+		apps = append(apps, App{
+			PID:        PID(pid),
+			Gen:        workload.NewStride(1<<18, int64(1+pid%7), uint64(pid)),
+			LimitPages: 512,
+		})
+	}
+	m, err := NewMachine(leanLeap(13), apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(500)
+	for _, p := range m.procs {
+		if p.accesses != 500 {
+			t.Fatalf("pid %d ran %d accesses, want 500", p.app.PID, p.accesses)
+		}
+	}
+}

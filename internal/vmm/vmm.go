@@ -21,13 +21,14 @@
 package vmm
 
 import (
-	"container/heap"
 	"fmt"
 
 	"leap/internal/core"
 	"leap/internal/datapath"
+	"leap/internal/eventq"
 	"leap/internal/metrics"
 	"leap/internal/pagecache"
+	"leap/internal/pagemap"
 	"leap/internal/prefetch"
 	"leap/internal/rdma"
 	"leap/internal/sim"
@@ -92,8 +93,26 @@ type resEntry struct {
 type proc struct {
 	app   App
 	clock sim.Time
+	// order is the process's index in Machine.procs; the scheduler breaks
+	// clock ties by order so the pick sequence matches a first-wins linear
+	// scan over the App slice.
+	order int
+	// target is the access count this proc runs to in the current Machine.Run.
+	target int64
+	// accPerOp caches app.Gen.AccessesPerOp(), hoisting the interface call
+	// out of the per-access path (generators report a constant); opLeft
+	// counts down accesses to the next completed operation, replacing a
+	// per-access modulo.
+	accPerOp int64
+	opLeft   int64
 
-	resident map[core.PageID]*resEntry
+	// charged tracks page-cache pages attributed to this process's cgroup:
+	// in Linux, swap-cache pages are charged to the faulting cgroup, so a
+	// flooding prefetcher squeezes the process's own resident set. The
+	// fault path enforces resident+charged <= limit.
+	charged int64
+
+	resident *pagemap.Map[*resEntry]
 	lruHead  *resEntry // most recently used
 	lruTail  *resEntry
 
@@ -116,26 +135,26 @@ type proc struct {
 	Latency metrics.Histogram
 }
 
-// arrival is a prefetched page in flight.
+// arrival is a prefetched page in flight. It carries the issuing proc so
+// landing it needs no pid lookup.
 type arrival struct {
 	page core.PageID
 	at   sim.Time
-	pid  PID
+	proc *proc
 }
 
-// arrivalHeap orders arrivals by time.
-type arrivalHeap []arrival
+// arrivalLess orders arrivals by completion time (eventq preserves
+// container/heap's tie order, so the landing sequence of same-time arrivals
+// — and with it cache LRU order — is unchanged from the boxed heap).
+func arrivalLess(a, b arrival) bool { return a.at < b.at }
 
-func (h arrivalHeap) Len() int            { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// procLess orders the scheduler heap by (clock, order): the unique least
+// element is exactly the proc a first-wins linear scan would pick.
+func procLess(a, b *proc) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.order < b.order
 }
 
 // Machine simulates one host. Not safe for concurrent use.
@@ -148,15 +167,16 @@ type Machine struct {
 
 	procs []*proc
 	byPID map[PID]*proc
+	// sched orders runnable procs by (clock, order) so Run picks the next
+	// proc in O(log P) instead of scanning all processes per step.
+	sched *eventq.Heap[*proc]
 
-	inflight  map[core.PageID]sim.Time
-	inflights arrivalHeap
+	inflight  *pagemap.Map[sim.Time]
+	inflights *eventq.Heap[arrival]
 
-	// charged tracks page-cache pages attributed to each process's cgroup:
-	// in Linux, swap-cache pages are charged to the faulting cgroup, so a
-	// flooding prefetcher squeezes the process's own resident set. The
-	// fault path enforces resident+charged <= limit.
-	charged map[PID]int64
+	// resFree is a free list of resEntry nodes (linked through next), so the
+	// map-in/evict churn of the fault path stops allocating.
+	resFree *resEntry
 
 	lastDevPage core.PageID // device head/locality tracker
 	candBuf     []core.PageID
@@ -169,6 +189,17 @@ type Machine struct {
 	FaultLatency metrics.Histogram // all swap-in faults, all processes
 	AllocLatency metrics.Histogram // page-allocation cost paid per miss
 	Counters     metrics.Counters
+
+	// Pre-resolved counter handles: the fault path increments through these
+	// pointers instead of paying a string-map lookup per event.
+	cResidentHits   *int64
+	cFaults         *int64
+	cCacheHits      *int64
+	cCacheMisses    *int64
+	cInflightHits   *int64
+	cInflightAdds   *int64
+	cPrefetchIssued *int64
+	cSwapouts       *int64
 }
 
 // NewMachine builds a machine with the given apps.
@@ -196,12 +227,33 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 		dev:       dev,
 		pf:        pf,
 		byPID:     make(map[PID]*proc),
-		inflight:  make(map[core.PageID]sim.Time),
-		charged:   make(map[PID]int64),
+		sched:     eventq.New(procLess),
+		inflight:  pagemap.New[sim.Time](0),
+		inflights: eventq.New(arrivalLess),
 		recording: true,
 	}
+	m.cResidentHits = m.Counters.Handle("resident_hits")
+	m.cFaults = m.Counters.Handle("faults")
+	m.cCacheHits = m.Counters.Handle("cache_hits")
+	m.cCacheMisses = m.Counters.Handle("cache_misses")
+	m.cInflightHits = m.Counters.Handle("inflight_hits")
+	m.cInflightAdds = m.Counters.Handle("inflight_adds")
+	m.cPrefetchIssued = m.Counters.Handle("prefetch_issued")
+	m.cSwapouts = m.Counters.Handle("swapouts")
+	// Evictions cluster by process, so memoize the last pid→proc mapping
+	// instead of paying a map lookup per evicted page.
+	var lastEvictPID PID
+	var lastEvictProc *proc
 	m.cache.OnEvict = func(page core.PageID) {
-		m.charged[PID(int64(page)>>pidShift)]--
+		pid := PID(int64(page) >> pidShift)
+		if lastEvictProc == nil || lastEvictPID != pid {
+			lastEvictProc = m.byPID[pid]
+			lastEvictPID = pid
+			if lastEvictProc == nil {
+				return
+			}
+		}
+		lastEvictProc.charged--
 	}
 	for _, a := range apps {
 		if a.Gen == nil {
@@ -210,7 +262,13 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 		if _, dup := m.byPID[a.PID]; dup {
 			return nil, fmt.Errorf("vmm: duplicate pid %d", a.PID)
 		}
-		p := &proc{app: a, resident: make(map[core.PageID]*resEntry)}
+		p := &proc{
+			app:      a,
+			order:    len(m.procs),
+			accPerOp: int64(a.Gen.AccessesPerOp()),
+			resident: pagemap.New[*resEntry](int(a.LimitPages)),
+		}
+		p.opLeft = p.accPerOp
 		preload := a.PreloadPages
 		if preload > a.LimitPages {
 			preload = a.LimitPages
@@ -307,16 +365,35 @@ func (m *Machine) measuredMakespan() sim.Duration {
 
 // flushArrivals lands every in-flight prefetch that has completed by now.
 func (m *Machine) flushArrivals(now sim.Time) {
-	for len(m.inflights) > 0 && m.inflights[0].at <= now {
-		a := heap.Pop(&m.inflights).(arrival)
-		if at, ok := m.inflight[a.page]; ok && at == a.at {
-			delete(m.inflight, a.page)
+	for m.inflights.Len() > 0 && m.inflights.Peek().at <= now {
+		a := m.inflights.Pop()
+		if at, ok := m.inflight.Get(a.page); ok && at == a.at {
+			m.inflight.Delete(a.page)
 			if m.cache.Insert(a.page, true, a.at) {
-				m.charged[a.pid]++
+				a.proc.charged++
 			}
 		}
 	}
 	m.cache.Tick(now)
+}
+
+// newResEntry takes a node off the free list, or allocates when it is empty.
+func (m *Machine) newResEntry(page core.PageID) *resEntry {
+	e := m.resFree
+	if e == nil {
+		return &resEntry{page: page}
+	}
+	m.resFree = e.next
+	e.page = page
+	e.prev, e.next = nil, nil
+	return e
+}
+
+// freeResEntry returns an unlinked node to the free list.
+func (m *Machine) freeResEntry(e *resEntry) {
+	e.prev = nil
+	e.next = m.resFree
+	m.resFree = e
 }
 
 // touchResident moves e to the front of p's LRU.
@@ -347,14 +424,13 @@ func (p *proc) touchResident(e *resEntry) {
 }
 
 // insertResident maps a page into p, evicting (and swapping out) the LRU
-// page if the limit is exceeded. Returns the swap-out count performed.
+// page if the limit is exceeded. The page must not already be resident —
+// both call sites guarantee it: the fault path only reaches here after the
+// residency check missed (and nothing in between inserts), and preload maps
+// distinct pages into an empty set.
 func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
-	if e, ok := p.resident[page]; ok {
-		p.touchResident(e)
-		return
-	}
-	e := &resEntry{page: page}
-	p.resident[page] = e
+	e := m.newResEntry(page)
+	p.resident.Put(page, e)
 	e.next = p.lruHead
 	if p.lruHead != nil {
 		p.lruHead.prev = e
@@ -370,14 +446,14 @@ func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
 	// prefetcher churns its own pages — then falls back to evicting the
 	// process's LRU pages. Fresh prefetches get a 2ms grace so pressure
 	// cannot cancel a prefetch that is about to be consumed.
-	if over := int64(len(p.resident)) + m.charged[p.app.PID] - p.app.LimitPages; over > 0 {
+	if over := int64(p.resident.Len()) + p.charged - p.app.LimitPages; over > 0 {
 		m.cache.ReclaimAged(int(over), 2*sim.Millisecond, now)
 	}
-	budget := p.app.LimitPages - m.charged[p.app.PID]
+	budget := p.app.LimitPages - p.charged
 	if floor := int64(16); budget < floor {
 		budget = floor
 	}
-	for int64(len(p.resident)) > budget && p.lruTail != nil {
+	for int64(p.resident.Len()) > budget && p.lruTail != nil {
 		victim := p.lruTail
 		p.lruTail = victim.prev
 		if p.lruTail != nil {
@@ -385,13 +461,14 @@ func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
 		} else {
 			p.lruHead = nil
 		}
-		delete(p.resident, victim.page)
+		p.resident.Delete(victim.page)
 		// Write-back to the backing store (asynchronous: occupies the
 		// device/fabric but nobody waits). Swap-out is slot-clustered, so
 		// it neither pays nor causes read-head seeks.
 		m.dev.Write(int(p.app.PID), now, victim.page, 1)
+		m.freeResEntry(victim)
 		if m.recording {
-			m.Counters.Inc("swapouts")
+			*m.cSwapouts++
 		}
 	}
 }
@@ -404,22 +481,22 @@ func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
 // only dispatch + device time.
 func (m *Machine) issuePrefetches(p *proc, cands []core.PageID, now sim.Time) {
 	for _, c := range cands {
-		if _, ok := p.resident[c]; ok {
+		if p.resident.Contains(c) {
 			continue
 		}
 		if m.cache.Contains(c) {
 			continue
 		}
-		if _, ok := m.inflight[c]; ok {
+		if m.inflight.Contains(c) {
 			continue
 		}
 		dist := int64(c - m.lastDevPage)
 		m.lastDevPage = c
 		done := m.dev.Read(int(p.app.PID), now, c, dist)
-		m.inflight[c] = done
-		heap.Push(&m.inflights, arrival{page: c, at: done, pid: p.app.PID})
+		m.inflight.Put(c, done)
+		m.inflights.Push(arrival{page: c, at: done, proc: p})
 		if m.recording {
-			m.Counters.Inc("prefetch_issued")
+			*m.cPrefetchIssued++
 		}
 	}
 }
@@ -432,17 +509,18 @@ func (m *Machine) step(p *proc) sim.Duration {
 	now := p.clock
 	m.flushArrivals(now)
 	p.accesses++
-	if p.accesses%int64(p.app.Gen.AccessesPerOp()) == 0 {
+	if p.opLeft--; p.opLeft == 0 {
 		p.ops++
+		p.opLeft = p.accPerOp
 	}
 
 	page := globalPage(p.app.PID, a.Page)
 
 	// Resident: no fault, no cost beyond think time.
-	if e, ok := p.resident[page]; ok {
+	if e, ok := p.resident.Get(page); ok {
 		p.touchResident(e)
 		if m.recording {
-			m.Counters.Inc("resident_hits")
+			*m.cResidentHits++
 		}
 		return 0
 	}
@@ -450,7 +528,7 @@ func (m *Machine) step(p *proc) sim.Duration {
 	// Swap-in fault.
 	p.faults++
 	if m.recording {
-		m.Counters.Inc("faults")
+		*m.cFaults++
 		if m.cfg.CaptureFaults {
 			p.faultTrace = append(p.faultTrace, a.Page)
 		}
@@ -464,11 +542,11 @@ func (m *Machine) step(p *proc) sim.Duration {
 			m.pf.OnPrefetchHit(p.app.PID)
 		}
 		if m.recording {
-			m.Counters.Inc("cache_hits")
+			*m.cCacheHits++
 		}
-	} else if at, ok := m.inflight[page]; ok {
+	} else if at, ok := m.inflight.Get(page); ok {
 		// The prefetch is on the wire: pay only the remaining time.
-		delete(m.inflight, page)
+		m.inflight.Delete(page)
 		wait := at.Sub(now)
 		if wait < 0 {
 			wait = 0
@@ -476,10 +554,10 @@ func (m *Machine) step(p *proc) sim.Duration {
 		latency = m.path.HitLatency() + wait
 		m.pf.OnPrefetchHit(p.app.PID)
 		if m.recording {
-			m.Counters.Inc("inflight_hits")
+			*m.cInflightHits++
 			// An in-flight consumption is still a prefetch success for
 			// accuracy accounting (it was added and used).
-			m.Counters.Inc("inflight_adds")
+			*m.cInflightAdds++
 		}
 	} else {
 		// Full miss: data path overhead + device + page allocation.
@@ -492,7 +570,7 @@ func (m *Machine) step(p *proc) sim.Duration {
 		alloc := m.cache.AllocLatency()
 		latency = b.Total() + done.Sub(submit) + alloc
 		if m.recording {
-			m.Counters.Inc("cache_misses")
+			*m.cCacheMisses++
 			m.AllocLatency.Observe(alloc)
 		}
 	}
@@ -517,26 +595,28 @@ func (m *Machine) step(p *proc) sim.Duration {
 
 // Run advances the machine until every process has performed accesses
 // accesses (beyond whatever it has already done). Processes interleave by
-// local virtual time.
+// local virtual time: each iteration steps the runnable proc with the
+// smallest (clock, order) key. The scheduler heap makes that pick O(log P)
+// per step — stepping a proc only grows its own clock, so a single
+// sift-down of the root restores the heap — while (clock, order) is a total
+// order, which keeps the pick sequence identical to the previous
+// first-wins linear scan at any process count.
 func (m *Machine) Run(accesses int64) {
-	target := make(map[PID]int64, len(m.procs))
-	for _, p := range m.procs {
-		target[p.app.PID] = p.accesses + accesses
+	if accesses <= 0 {
+		return
 	}
-	for {
-		// Pick the lagging process that still has work.
-		var next *proc
-		for _, p := range m.procs {
-			if p.accesses >= target[p.app.PID] {
-				continue
-			}
-			if next == nil || p.clock < next.clock {
-				next = p
-			}
+	m.sched.Reset()
+	for _, p := range m.procs {
+		p.target = p.accesses + accesses
+		m.sched.Push(p)
+	}
+	for m.sched.Len() > 0 {
+		p := m.sched.Peek()
+		m.step(p)
+		if p.accesses >= p.target {
+			m.sched.Pop()
+		} else {
+			m.sched.Fix(0)
 		}
-		if next == nil {
-			return
-		}
-		m.step(next)
 	}
 }

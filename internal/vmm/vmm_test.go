@@ -93,7 +93,7 @@ func TestResidentSetNeverExceedsLimit(t *testing.T) {
 	}
 	for i := 0; i < 5000; i++ {
 		m.step(m.procs[0])
-		if got := len(m.procs[0].resident); got > 100 {
+		if got := m.procs[0].resident.Len(); got > 100 {
 			t.Fatalf("resident set %d exceeds limit 100", got)
 		}
 	}
@@ -348,7 +348,7 @@ func TestCgroupChargeInvariant(t *testing.T) {
 	for i := 0; i < 8000; i++ {
 		m.step(m.procs[0])
 		p := m.procs[0]
-		occupancy := int64(len(p.resident)) + m.charged[1]
+		occupancy := int64(p.resident.Len()) + p.charged
 		// The floor-16 backstop and the one-page insert give small slack.
 		if occupancy > p.app.LimitPages+32 {
 			t.Fatalf("step %d: occupancy %d far exceeds limit %d",
@@ -367,7 +367,7 @@ func TestChargeAccountingBalanced(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Run(5000)
-	if got, want := m.charged[1], int64(m.Cache().Len()); got != want {
+	if got, want := m.byPID[1].charged, int64(m.Cache().Len()); got != want {
 		t.Fatalf("charged = %d, cache holds %d", got, want)
 	}
 }

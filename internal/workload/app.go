@@ -56,6 +56,7 @@ type App struct {
 	think sim.Dist
 
 	hotPages int64
+	hotInv   zipfInv // cached zipf invariants for the hot-region draw
 
 	class   segClass
 	remain  int   // accesses left in current segment
@@ -73,6 +74,9 @@ func NewApp(p Profile, seed uint64) *App {
 		think:    sim.Exponential{MeanVal: p.ThinkMean, Floor: 100 * sim.Nanosecond},
 		hotPages: int64(float64(p.TotalPages) * p.HotFraction),
 		zipfSrc:  rng.Fork(0xbeef),
+	}
+	if a.hotPages > 0 {
+		a.hotInv = newZipfInv(a.hotPages, 1.01)
 	}
 	a.startSegment()
 	return a
@@ -162,7 +166,7 @@ func (a *App) coldNext() core.PageID {
 func (a *App) Next() Access {
 	think := a.think.Sample(a.rng)
 	if a.hotPages > 0 && a.rng.Float64() < a.p.HotProb {
-		rank := zipfRank(a.zipfSrc, a.hotPages, 1.01)
+		rank := a.hotInv.rank(a.zipfSrc)
 		return Access{Page: core.PageID(rank - 1), Think: think}
 	}
 	return Access{Page: a.coldNext(), Think: think}

@@ -160,6 +160,7 @@ func (g *Uniform) Next() Access {
 type Zipf struct {
 	pages int64
 	s     float64
+	inv   zipfInv
 	rng   *sim.RNG
 	think sim.Dist
 }
@@ -172,6 +173,7 @@ func NewZipf(pages int64, s float64, seed uint64) *Zipf {
 	return &Zipf{
 		pages: pages,
 		s:     s,
+		inv:   newZipfInv(pages, s),
 		rng:   sim.NewRNG(seed),
 		think: sim.Exponential{MeanVal: 500 * sim.Nanosecond},
 	}
@@ -186,36 +188,56 @@ func (g *Zipf) Pages() int64 { return g.pages }
 // AccessesPerOp implements Generator.
 func (g *Zipf) AccessesPerOp() int { return 1 }
 
-// rank draws a zipf rank in [1, n] by inverting the continuous
-// approximation of the zipf CDF (accurate enough for workload shaping).
-func zipfRank(rng *sim.RNG, n int64, s float64) int64 {
-	u := rng.Float64()
+// zipfInv inverts the continuous approximation of the zipf CDF (accurate
+// enough for workload shaping). The n- and s-dependent terms are
+// loop-invariant, so they are computed once here instead of on every draw —
+// the cached values feed the exact same expressions, keeping every sampled
+// rank bit-identical to recomputing them inline.
+type zipfInv struct {
+	n     int64
+	isOne bool    // |s-1| < 1e-9: use the logarithmic form
+	logN  float64 // ln(n), for the s≈1 branch
+	// powTerm = n^(1-s) - 1 and invOneMinus = 1/(1-s), for the general branch.
+	powTerm     float64
+	invOneMinus float64
+}
+
+func newZipfInv(n int64, s float64) zipfInv {
+	z := zipfInv{n: n}
 	if math.Abs(s-1.0) < 1e-9 {
-		// CDF ≈ ln(k)/ln(n)
-		k := int64(math.Exp(u * math.Log(float64(n))))
-		if k < 1 {
-			k = 1
-		}
-		if k > n {
-			k = n
-		}
-		return k
+		z.isOne = true
+		z.logN = math.Log(float64(n))
+		return z
 	}
-	// CDF ≈ (k^(1-s) - 1) / (n^(1-s) - 1)
 	oneMinus := 1 - s
-	k := int64(math.Pow(u*(math.Pow(float64(n), oneMinus)-1)+1, 1/oneMinus))
+	z.powTerm = math.Pow(float64(n), oneMinus) - 1
+	z.invOneMinus = 1 / oneMinus
+	return z
+}
+
+// rank draws a zipf rank in [1, n].
+func (z *zipfInv) rank(rng *sim.RNG) int64 {
+	u := rng.Float64()
+	var k int64
+	if z.isOne {
+		// CDF ≈ ln(k)/ln(n)
+		k = int64(math.Exp(u * z.logN))
+	} else {
+		// CDF ≈ (k^(1-s) - 1) / (n^(1-s) - 1)
+		k = int64(math.Pow(u*z.powTerm+1, z.invOneMinus))
+	}
 	if k < 1 {
 		k = 1
 	}
-	if k > n {
-		k = n
+	if k > z.n {
+		k = z.n
 	}
 	return k
 }
 
 // Next implements Generator.
 func (g *Zipf) Next() Access {
-	rank := zipfRank(g.rng, g.pages, g.s)
+	rank := g.inv.rank(g.rng)
 	// Scatter ranks across the page space deterministically.
 	page := core.PageID((uint64(rank) * 0x9E3779B97F4A7C15) % uint64(g.pages))
 	return Access{Page: page, Think: g.think.Sample(g.rng)}

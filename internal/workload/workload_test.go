@@ -109,8 +109,9 @@ func TestZipfBounds(t *testing.T) {
 
 func TestZipfRankRange(t *testing.T) {
 	rng := sim.NewRNG(13)
+	z := newZipfInv(1000, 0.99)
 	for i := 0; i < 100000; i++ {
-		k := zipfRank(rng, 1000, 0.99)
+		k := z.rank(rng)
 		if k < 1 || k > 1000 {
 			t.Fatalf("rank %d out of [1,1000]", k)
 		}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark baseline: runs the benchmark suite and records the numbers to
+# BENCH_1.json (override with BENCH_OUT), seeding the perf trajectory that
+# future PRs append to (BENCH_2.json, ...).
+#
+# Two passes with different timing budgets:
+#   - hot-path microbenchmarks get a long -benchtime for stable ns/op;
+#   - figure/ablation drivers run one full iteration each (every iteration
+#     is a complete experiment, so 1x is already meaningful and keeps the
+#     suite fast).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_1.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -benchmem -count 1 -benchtime 2s \
+  -bench 'BenchmarkSimulatorThroughput|BenchmarkPredictorFaultPath|BenchmarkFindTrend|BenchmarkMajorityVote|BenchmarkPrefetcherComparison' \
+  . | tee "$TMP"
+
+go test -run '^$' -benchmem -count 1 -benchtime 1x \
+  -bench 'BenchmarkFig|BenchmarkTable|BenchmarkAblation' \
+  . | tee -a "$TMP"
+
+python3 scripts/bench2json.py < "$TMP" > "$OUT"
+echo "wrote $OUT"

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output on stdin to a JSON benchmark record.
+
+Each Benchmark line has the shape
+
+    BenchmarkName-8   12345   123.4 ns/op   0 B/op   0 allocs/op   1.2 extra-unit
+
+i.e. a name, an iteration count, then (value, unit) pairs — including any
+custom b.ReportMetric units. The output is what scripts/bench.sh writes to
+BENCH_<n>.json, the perf trajectory across PRs.
+"""
+import json
+import subprocess
+import sys
+
+
+def parse(stream):
+    benches = []
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("Benchmark"):
+            continue
+        fields = line.split()
+        if len(fields) < 4 or not fields[1].isdigit():
+            continue
+        name = fields[0].rsplit("-", 1)[0] if "-" in fields[0] else fields[0]
+        entry = {"name": name, "iterations": int(fields[1]), "metrics": {}}
+        pairs = fields[2:]
+        for value, unit in zip(pairs[0::2], pairs[1::2]):
+            try:
+                entry["metrics"][unit] = float(value)
+            except ValueError:
+                pass
+        benches.append(entry)
+    return benches
+
+
+def main():
+    goversion = subprocess.run(
+        ["go", "version"], capture_output=True, text=True
+    ).stdout.strip()
+    out = {"go": goversion, "benchmarks": parse(sys.stdin)}
+    json.dump(out, sys.stdout, indent=2, sort_keys=False)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
