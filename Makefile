@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench smoke figures
+.PHONY: all build vet test bench bench-check smoke figures
 
 all: vet build test
 
@@ -16,6 +16,14 @@ test:
 # Record the benchmark baseline to BENCH_1.json (see scripts/bench.sh).
 bench:
 	scripts/bench.sh
+
+# Regression gate: rerun the headline hot-path benchmarks and fail on
+# >15% ns/op growth or any allocs/op increase vs the recorded baseline.
+bench-check:
+	$(GO) test -run '^$$' -benchmem -count 1 -benchtime 2s \
+	  -bench 'BenchmarkSimulatorThroughput$$|BenchmarkPredictorFaultPath$$' . \
+	  | python3 scripts/bench2json.py > /tmp/leap_bench_fresh.json
+	python3 scripts/bench_compare.py BENCH_1.json /tmp/leap_bench_fresh.json
 
 # Quick end-to-end check: one figure at test scale.
 smoke:

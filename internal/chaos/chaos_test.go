@@ -1,0 +1,302 @@
+package chaos
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"leap/internal/remote"
+	"leap/internal/sim"
+)
+
+func TestScheduleParseStringRoundTrip(t *testing.T) {
+	text := `
+# crash window on agent 0
+1ms crash 0
+2ms repair
+3.50ms restart 0
+4ms repair
+5ms slow 1 250.00µs
+6ms endslow 1
+7ms flaky 2 0.25
+8ms endflaky 2
+9ms partition 3
+10ms heal 3
+`
+	s, err := Parse("demo", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 10 {
+		t.Fatalf("parsed %d events, want 10", len(s.Events))
+	}
+	if s.MaxAgent() != 3 {
+		t.Fatalf("MaxAgent = %d, want 3", s.MaxAgent())
+	}
+	// String → Parse must reproduce the events exactly.
+	again, err := Parse("demo", s.String())
+	if err != nil {
+		t.Fatalf("re-parse of String(): %v\n%s", err, s.String())
+	}
+	if !reflect.DeepEqual(s.Events, again.Events) {
+		t.Fatalf("round trip diverged:\n%v\n%v", s.Events, again.Events)
+	}
+}
+
+func TestScheduleParseRejects(t *testing.T) {
+	bad := []string{
+		"5ms",             // time with no verb (must error, not panic)
+		"5ms explode 0",   // unknown verb
+		"5 crash 0",       // unitless time
+		"5ms crash",       // missing agent
+		"5ms crash -1",    // negative agent
+		"5ms slow 1",      // missing latency
+		"5ms flaky 1 1.5", // probability out of range
+		"5ms repair 0",    // trailing field
+		"5ms crash 0 7",   // trailing field
+	}
+	for _, text := range bad {
+		if _, err := Parse("bad", text); err == nil {
+			t.Errorf("Parse(%q) accepted", text)
+		}
+	}
+}
+
+func TestLibraryScenarioLookup(t *testing.T) {
+	if _, ok := Scenario("crash-restart", sim.Millisecond); !ok {
+		t.Fatal("crash-restart missing from library")
+	}
+	if _, ok := Scenario("nope", sim.Millisecond); ok {
+		t.Fatal("unknown scenario found")
+	}
+}
+
+// TestLibrarySchedulesUpholdInvariants is the shipped-scenario gate: every
+// library schedule must finish with zero acked-write losses, zero freshness
+// violations and every repair barrier fully restoring replication.
+func TestLibrarySchedulesUpholdInvariants(t *testing.T) {
+	cfg := Config{Ops: 3000, Pages: 192, Seed: 7, RepairEvery: 0}
+	for _, sched := range Library(cfg.Horizon()) {
+		sched := sched
+		t.Run(sched.Name, func(t *testing.T) {
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Run(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := rep.Violations(); v != 0 {
+				t.Fatalf("schedule %s: %d violations\n%s", sched.Name, v, rep)
+			}
+			if rep.Reads == 0 || rep.Writes == 0 {
+				t.Fatalf("schedule %s: vacuous run\n%s", sched.Name, rep)
+			}
+		})
+	}
+}
+
+// TestCrashScheduleExercisesFailover makes sure the harness actually sees
+// degraded-mode behaviour, not a quietly idle fault path.
+func TestCrashScheduleExercisesFailover(t *testing.T) {
+	cfg := Config{Ops: 4000, Pages: 256, Seed: 11}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := Scenario("crash-restart", cfg.Horizon())
+	rep, err := c.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailoverReads == 0 {
+		t.Fatalf("crash-restart produced no failover reads\n%s", rep)
+	}
+	if rep.RepairedSlabs == 0 {
+		t.Fatalf("crash-restart repaired nothing\n%s", rep)
+	}
+	if rep.FailoverLatency.Percentile(50) <= rep.ReadLatency.Percentile(50) {
+		t.Fatalf("failover reads not slower than ordinary reads\n%s", rep)
+	}
+	if rep.Violations() != 0 {
+		t.Fatalf("violations\n%s", rep)
+	}
+}
+
+// TestFlakyScheduleDiverges checks that transient write failures really
+// create under-acknowledged pages and that repair re-converges them.
+func TestFlakyScheduleDiverges(t *testing.T) {
+	cfg := Config{Ops: 3000, Pages: 128, Seed: 13}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := Scenario("flaky-writes", cfg.Horizon())
+	rep, err := c.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, injected := c.Faults()[2].Stats()
+	if injected == 0 {
+		t.Fatal("flaky window injected nothing")
+	}
+	if rep.Violations() != 0 {
+		t.Fatalf("violations\n%s", rep)
+	}
+	if c.Host().DegradedPages() != 0 {
+		t.Fatalf("degraded pages survived the final barrier: %d", c.Host().DegradedPages())
+	}
+}
+
+// TestRunDeterministic replays runs with the same (config, schedule, seed)
+// and requires identical reports — including latency histograms.
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Ops: 2500, Pages: 160, Seed: 42, RepairEvery: 2 * sim.Millisecond}
+	run := func() *Report {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _ := Scenario("mixed", cfg.Horizon())
+		rep, err := c.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed chaos runs diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a.String(), "mixed") {
+		t.Fatal("report rendering lost the schedule name")
+	}
+}
+
+// TestSeedChangesOutcome guards against the RNG plumbing silently going
+// constant.
+func TestSeedChangesOutcome(t *testing.T) {
+	out := make([]*Report, 2)
+	for i, seed := range []uint64{1, 2} {
+		cfg := Config{Ops: 1500, Pages: 96, Seed: seed}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _ := Scenario("crash-restart", cfg.Horizon())
+		if out[i], err = c.Run(sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reflect.DeepEqual(out[0], out[1]) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestClusterOverTCPTransports drives the chaos harness over real TCP
+// loopback agents: the fault decorator blackholes the wire instead of
+// killing processes, and the invariants must hold just the same.
+func TestClusterOverTCPTransports(t *testing.T) {
+	cfg := Config{Agents: 4, Ops: 800, Pages: 64, Seed: 17}
+	var inner []remote.Transport
+	for i := 0; i < cfg.Agents; i++ {
+		agent := remote.NewAgent(16, 0)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go agent.Serve(l) //nolint:errcheck // listener close ends Serve
+		tr, err := remote.DialTCP(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner = append(inner, tr)
+	}
+	c, err := NewWithTransports(cfg, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition + flaky only: Restart cannot wipe an external agent, and a
+	// purge-without-wipe crash is covered by the in-process tests.
+	sched, _ := Scenario("partition", cfg.Horizon())
+	rep, err := c.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations() != 0 {
+		t.Fatalf("violations over TCP\n%s", rep)
+	}
+	if rep.DegradedReads+rep.FailoverReads == 0 && rep.Ops == 0 {
+		t.Fatal("vacuous TCP run")
+	}
+}
+
+// TestScheduleValidation rejects schedules referencing agents beyond the
+// cluster.
+func TestScheduleValidation(t *testing.T) {
+	c, err := New(Config{Agents: 2, Ops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Schedule{Name: "oob", Events: []Event{{At: 0, Kind: Crash, Agent: 7}}}
+	if _, err := c.Run(bad); err == nil {
+		t.Fatal("out-of-range schedule accepted")
+	}
+}
+
+// TestOverlappingWindowsComposePerField: a flaky window opening and
+// closing inside a slow window must not clobber the slowness — fault
+// dimensions are independent fields of FaultMode.
+func TestOverlappingWindowsComposePerField(t *testing.T) {
+	cfg := Config{Ops: 2000, Pages: 96, Seed: 5}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cfg.Horizon()
+	sched := Schedule{Name: "overlap", Events: []Event{
+		{At: h / 10, Kind: SlowStart, Agent: 1, Extra: 200 * sim.Microsecond},
+		{At: 2 * h / 10, Kind: FlakyStart, Agent: 1, Prob: 0.5},
+		{At: 4 * h / 10, Kind: FlakyEnd, Agent: 1},
+		// Probe the mode right after endflaky via the drain: slowness must
+		// still be active until SlowEnd.
+		{At: 8 * h / 10, Kind: SlowEnd, Agent: 1},
+		{At: 9 * h / 10, Kind: Repair, Agent: -1},
+	}}
+	// Run partially by hand: apply up to FlakyEnd and check the composed mode.
+	c2, _ := New(cfg)
+	for _, e := range sched.Events[:3] {
+		if err := c2.apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := c2.Faults()[1].Mode(); m.ExtraLatency != 200*sim.Microsecond || m.WriteFailProb != 0 {
+		t.Fatalf("after endflaky inside slow window, mode = %+v", m)
+	}
+	// And the full run must still uphold the invariants.
+	rep, err := c.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations() != 0 {
+		t.Fatalf("violations under overlapping windows\n%s", rep)
+	}
+}
+
+// TestClusterSingleUse: the clock, fabric queues and page model carry a
+// run's history, so reuse must be rejected rather than silently wrong.
+func TestClusterSingleUse(t *testing.T) {
+	c, err := New(Config{Ops: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Schedule{Name: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Schedule{Name: "second"}); err == nil {
+		t.Fatal("second Run on the same Cluster accepted")
+	}
+}

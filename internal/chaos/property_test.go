@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"leap/internal/sim"
+)
+
+// propertyCase runs one randomized schedule against a fresh cluster and
+// reports the violations. Everything derives from caseSeed, so a failure
+// reproduces from the seed alone.
+func propertyCase(caseSeed uint64, ops int, windows int) (*Report, Schedule, error) {
+	cfg := Config{
+		Agents:    3 + int(caseSeed%3), // 3–5 agents
+		SlabPages: 4,
+		Pages:     48,
+		Ops:       ops,
+		WriteFrac: 0.45,
+		Seed:      caseSeed,
+	}
+	sched := RandomSchedule(caseSeed^0x5eedfa17, GenConfig{
+		Agents:     cfg.Agents,
+		Horizon:    cfg.Horizon(),
+		MaxWindows: windows,
+	})
+	c, err := New(cfg)
+	if err != nil {
+		return nil, sched, err
+	}
+	rep, err := c.Run(sched)
+	return rep, sched, err
+}
+
+// shrink reduces a failing case by halving the op count and trimming fault
+// windows while the failure persists, and reports the smallest
+// reproduction found. The seed is the replay handle: re-run with
+// LEAP_CHAOS_SEED=<seed> to get exactly this case back.
+func shrink(t *testing.T, caseSeed uint64, ops, windows int) (int, int) {
+	t.Helper()
+	fails := func(o, w int) bool {
+		rep, _, err := propertyCase(caseSeed, o, w)
+		return err != nil || rep.Violations() != 0
+	}
+	for ops > 25 && fails(ops/2, windows) {
+		ops /= 2
+	}
+	for windows > 1 && fails(ops, windows-1) {
+		windows--
+	}
+	return ops, windows
+}
+
+// TestHostPropertyRandomSchedules is the randomized-schedule property suite
+// for remote.Host: after ANY generated interleaving of writes, reads,
+// crash/restart cycles, partitions, flaky-write windows, slow agents and
+// RepairSlabs calls, (a) every read observes the freshest acked value
+// whenever any acknowledged holder is reachable, (b) every repair barrier
+// restores the replication factor and clears degraded pages, and (c) after
+// the final repair every acked page reads back its last written value.
+//
+// ≥1000 cases run even under -short. A failure prints the case seed;
+// replay just that case with LEAP_CHAOS_SEED=<seed> go test -run
+// TestHostPropertyRandomSchedules, and the shrinker reports the smallest
+// (ops, windows) reproduction for the seed.
+func TestHostPropertyRandomSchedules(t *testing.T) {
+	const ops, windows = 120, 4
+	if env := os.Getenv("LEAP_CHAOS_SEED"); env != "" {
+		seed, err := strconv.ParseUint(env, 0, 64)
+		if err != nil {
+			t.Fatalf("bad LEAP_CHAOS_SEED: %v", err)
+		}
+		runPropertyCase(t, seed, ops, windows)
+		return
+	}
+	cases := 2500
+	if testing.Short() {
+		cases = 1000
+	}
+	for i := 0; i < cases; i++ {
+		runPropertyCase(t, 0xC4A05<<16|uint64(i), ops, windows)
+	}
+}
+
+func runPropertyCase(t *testing.T, seed uint64, ops, windows int) {
+	t.Helper()
+	rep, sched, err := propertyCase(seed, ops, windows)
+	if err != nil {
+		t.Fatalf("case seed=%#x: run error: %v\nschedule:\n%s", seed, err, sched)
+	}
+	if rep.Violations() == 0 {
+		return
+	}
+	sOps, sWindows := shrink(t, seed, ops, windows)
+	srep, ssched, _ := propertyCase(seed, sOps, sWindows)
+	t.Fatalf("case seed=%#x violated invariants (replay: LEAP_CHAOS_SEED=%#x)\n"+
+		"full case:\n%s\nshrunk to ops=%d windows=%d:\n%s\nshrunk schedule:\n%s",
+		seed, seed, rep, sOps, sWindows, srep, ssched)
+}
+
+// TestPropertyCasesAreNotVacuous samples a few case seeds and checks the
+// generator actually injects faults and the workload actually exercises
+// failover paths somewhere in the sample.
+func TestPropertyCasesAreNotVacuous(t *testing.T) {
+	var injected, failovers, repairs int64
+	for i := 0; i < 40; i++ {
+		seed := 0xC4A05<<16 | uint64(i)
+		cfg := Config{Agents: 3 + int(seed%3), SlabPages: 4, Pages: 48, Ops: 120, WriteFrac: 0.45, Seed: seed}
+		sched := RandomSchedule(seed^0x5eedfa17, GenConfig{Agents: cfg.Agents, Horizon: cfg.Horizon(), MaxWindows: 4})
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failovers += rep.FailoverReads
+		repairs += rep.RepairedSlabs
+		for _, ft := range c.Faults() {
+			_, inj := ft.Stats()
+			injected += inj
+		}
+	}
+	if injected == 0 || failovers == 0 || repairs == 0 {
+		t.Fatalf("sample of property cases never exercised faults: injected=%d failovers=%d repairs=%d",
+			injected, failovers, repairs)
+	}
+}
+
+// TestRandomScheduleRoundTrips checks that generated schedules — whose
+// event times have nanosecond precision — survive String→Parse exactly, so
+// a printed failing schedule is a faithful reproduction.
+func TestRandomScheduleRoundTrips(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := RandomSchedule(seed, GenConfig{Agents: 4, Horizon: 10 * sim.Millisecond, MaxWindows: 4})
+		again, err := Parse(s.Name, s.String())
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v\n%s", seed, err, s)
+		}
+		if !reflect.DeepEqual(s.Events, again.Events) {
+			t.Fatalf("seed %d: round trip diverged:\n%v\n%v", seed, s.Events, again.Events)
+		}
+	}
+}
+
+// TestRandomScheduleDeterministic pins the generator itself: same seed,
+// same schedule.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	g := GenConfig{Agents: 4, Horizon: 10 * sim.Millisecond, MaxWindows: 4}
+	a := RandomSchedule(99, g)
+	b := RandomSchedule(99, g)
+	if a.String() != b.String() {
+		t.Fatalf("generator nondeterministic:\n%s\n%s", a, b)
+	}
+	if c := RandomSchedule(100, g); c.String() == a.String() {
+		t.Fatal("different seeds generated identical schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("empty schedule generated")
+	}
+}

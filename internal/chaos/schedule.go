@@ -1,0 +1,349 @@
+// Package chaos is the deterministic fault-injection harness for the
+// remote-memory cluster of §4.4–4.5: it drives a real remote.Host and its
+// agents through scripted failure schedules — crash/restart, network
+// partitions, transient write failures (stale-replica divergence) and
+// slow/lagging agents — entirely on virtual time. A run is a pure function
+// of (Config, Schedule, seed): every transport call is charged to a
+// simulated RDMA fabric, every probabilistic decision flows from sim.RNG
+// forks, and the resulting Report replays bit-identically.
+//
+// The harness model-checks the service as it runs: it tracks, per page,
+// which agents acknowledged the latest write (the holders of the fresh
+// bytes) and flags any read that returns stale data or fails while a holder
+// was reachable. Shipped schedules (Library) and the randomized generator
+// (RandomSchedule) keep faults within the paper's fault model — one faulty
+// agent at a time, repair between fault windows — under which the service
+// must lose nothing.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"leap/internal/sim"
+)
+
+// Kind enumerates schedule event types.
+type Kind int
+
+const (
+	// Crash makes an agent unreachable and wipes its memory on Restart;
+	// the host is told (MarkFailed) so placement routes around it.
+	Crash Kind = iota
+	// Restart brings a crashed agent back empty: its slabs are wiped, the
+	// host purges placements pointing at it, and it rejoins the pool.
+	Restart
+	// Partition makes an agent unreachable without telling the host and
+	// without losing its memory — a network split, healed by Heal.
+	Partition
+	// Heal ends a Partition.
+	Heal
+	// SlowStart adds per-call virtual latency to an agent (lagging node).
+	SlowStart
+	// SlowEnd removes the added latency.
+	SlowEnd
+	// FlakyStart makes each write to the agent fail independently with the
+	// given probability — the stale-replica divergence generator.
+	FlakyStart
+	// FlakyEnd ends the flaky window.
+	FlakyEnd
+	// Repair runs Host.RepairSlabs (slab re-replication plus degraded-page
+	// re-push). A Repair while every agent is healthy is a barrier: the
+	// harness asserts full replication was restored.
+	Repair
+)
+
+// verbs maps each Kind to its schedule-file verb.
+var verbs = map[Kind]string{
+	Crash:      "crash",
+	Restart:    "restart",
+	Partition:  "partition",
+	Heal:       "heal",
+	SlowStart:  "slow",
+	SlowEnd:    "endslow",
+	FlakyStart: "flaky",
+	FlakyEnd:   "endflaky",
+	Repair:     "repair",
+}
+
+// Event is one scheduled fault action at a virtual-time offset from the
+// start of the run.
+type Event struct {
+	At    sim.Duration
+	Kind  Kind
+	Agent int          // target agent; -1 for Repair
+	Extra sim.Duration // SlowStart: latency added per call
+	Prob  float64      // FlakyStart: per-write failure probability
+}
+
+// fmtDur renders a duration losslessly for schedule files: the largest
+// unit that divides it exactly, falling back to integer nanoseconds.
+// (sim.Duration.String() rounds to two decimals, which would make the
+// String→Parse round trip lossy for ns-precision times.)
+func fmtDur(d sim.Duration) string {
+	switch {
+	case d >= sim.Second && d%sim.Second == 0:
+		return fmt.Sprintf("%ds", d/sim.Second)
+	case d >= sim.Millisecond && d%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/sim.Millisecond)
+	case d >= sim.Microsecond && d%sim.Microsecond == 0:
+		return fmt.Sprintf("%dµs", d/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", d)
+	}
+}
+
+// String renders the event in schedule-file syntax.
+func (e Event) String() string {
+	switch e.Kind {
+	case Repair:
+		return fmt.Sprintf("%s repair", fmtDur(e.At))
+	case SlowStart:
+		return fmt.Sprintf("%s slow %d %s", fmtDur(e.At), e.Agent, fmtDur(e.Extra))
+	case FlakyStart:
+		return fmt.Sprintf("%s flaky %d %g", fmtDur(e.At), e.Agent, e.Prob)
+	default:
+		return fmt.Sprintf("%s %s %d", fmtDur(e.At), verbs[e.Kind], e.Agent)
+	}
+}
+
+// Schedule is a named, time-ordered fault script.
+type Schedule struct {
+	Name   string
+	Events []Event
+}
+
+// sorted returns the events ordered by time, ties kept in input order.
+func (s Schedule) sorted() []Event {
+	out := append([]Event(nil), s.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MaxAgent reports the highest agent index the schedule references (-1 for
+// an agent-free schedule), so runners can validate cluster sizes.
+func (s Schedule) MaxAgent() int {
+	maxIdx := -1
+	for _, e := range s.Events {
+		if e.Kind != Repair && e.Agent > maxIdx {
+			maxIdx = e.Agent
+		}
+	}
+	return maxIdx
+}
+
+// String renders the schedule in the textual format Parse accepts: one
+// event per line, `<time> <verb> [agent] [param]`, '#' comments allowed.
+func (s Schedule) String() string {
+	var b strings.Builder
+	if s.Name != "" {
+		fmt.Fprintf(&b, "# schedule: %s\n", s.Name)
+	}
+	for _, e := range s.sorted() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads a schedule from its textual form. Lines are
+// `<time> <verb> [agent] [param]` where time is a sim duration ("5ms",
+// "200µs"), verb is one of crash, restart, partition, heal, slow, endslow,
+// flaky, endflaky, repair; slow takes a latency parameter and flaky a
+// probability in [0,1]. Blank lines and '#' comments are skipped.
+func Parse(name, text string) (Schedule, error) {
+	s := Schedule{Name: name}
+	for lineNo, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return Schedule{}, fmt.Errorf("chaos: line %d: want `<time> <verb> [agent] [param]`, got %q", lineNo+1, line)
+		}
+		at, err := sim.ParseDuration(fields[0])
+		if err != nil {
+			return Schedule{}, fmt.Errorf("chaos: line %d: %v", lineNo+1, err)
+		}
+		ev := Event{At: at, Agent: -1}
+		verb := fields[1]
+		found := false
+		for k, v := range verbs {
+			if v == verb {
+				ev.Kind = k
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Schedule{}, fmt.Errorf("chaos: line %d: unknown verb %q", lineNo+1, verb)
+		}
+		want := 2 // fields consumed so far
+		if ev.Kind != Repair {
+			if len(fields) < 3 {
+				return Schedule{}, fmt.Errorf("chaos: line %d: %s needs an agent index", lineNo+1, verb)
+			}
+			ev.Agent, err = strconv.Atoi(fields[2])
+			if err != nil || ev.Agent < 0 {
+				return Schedule{}, fmt.Errorf("chaos: line %d: bad agent %q", lineNo+1, fields[2])
+			}
+			want = 3
+		}
+		switch ev.Kind {
+		case SlowStart:
+			if len(fields) < 4 {
+				return Schedule{}, fmt.Errorf("chaos: line %d: slow needs a latency", lineNo+1)
+			}
+			if ev.Extra, err = sim.ParseDuration(fields[3]); err != nil {
+				return Schedule{}, fmt.Errorf("chaos: line %d: %v", lineNo+1, err)
+			}
+			want = 4
+		case FlakyStart:
+			if len(fields) < 4 {
+				return Schedule{}, fmt.Errorf("chaos: line %d: flaky needs a probability", lineNo+1)
+			}
+			if ev.Prob, err = strconv.ParseFloat(fields[3], 64); err != nil || ev.Prob < 0 || ev.Prob > 1 {
+				return Schedule{}, fmt.Errorf("chaos: line %d: bad probability %q", lineNo+1, fields[3])
+			}
+			want = 4
+		}
+		if len(fields) > want {
+			return Schedule{}, fmt.Errorf("chaos: line %d: trailing fields %v", lineNo+1, fields[want:])
+		}
+		s.Events = append(s.Events, ev)
+	}
+	s.Events = s.sorted()
+	return s, nil
+}
+
+// Library returns the shipped scenario suite scaled to a run of roughly
+// horizon virtual time. Schedules reference agents 0–3, so clusters need at
+// least four agents. Every schedule upholds the single-fault-domain
+// discipline (one faulty agent at a time, repair between windows), under
+// which zero acked-write loss is required, not merely hoped for.
+func Library(horizon sim.Duration) []Schedule {
+	at := func(frac float64) sim.Duration { return sim.Duration(float64(horizon) * frac) }
+	return []Schedule{
+		{Name: "baseline"},
+		{Name: "crash-restart", Events: []Event{
+			{At: at(0.15), Kind: Crash, Agent: 0},
+			{At: at(0.20), Kind: Repair, Agent: -1}, // re-replicate while down
+			{At: at(0.55), Kind: Restart, Agent: 0},
+			{At: at(0.60), Kind: Repair, Agent: -1}, // barrier
+		}},
+		{Name: "rolling-crashes", Events: []Event{
+			{At: at(0.10), Kind: Crash, Agent: 0},
+			{At: at(0.22), Kind: Restart, Agent: 0},
+			{At: at(0.25), Kind: Repair, Agent: -1},
+			{At: at(0.40), Kind: Crash, Agent: 1},
+			{At: at(0.52), Kind: Restart, Agent: 1},
+			{At: at(0.55), Kind: Repair, Agent: -1},
+			{At: at(0.70), Kind: Crash, Agent: 2},
+			{At: at(0.82), Kind: Restart, Agent: 2},
+			{At: at(0.85), Kind: Repair, Agent: -1},
+		}},
+		{Name: "partition", Events: []Event{
+			{At: at(0.20), Kind: Partition, Agent: 1},
+			{At: at(0.50), Kind: Heal, Agent: 1},
+			{At: at(0.52), Kind: Repair, Agent: -1},
+		}},
+		{Name: "flaky-writes", Events: []Event{
+			{At: at(0.10), Kind: FlakyStart, Agent: 2, Prob: 0.3},
+			{At: at(0.60), Kind: FlakyEnd, Agent: 2},
+			{At: at(0.62), Kind: Repair, Agent: -1},
+		}},
+		{Name: "slow-agent", Events: []Event{
+			{At: at(0.20), Kind: SlowStart, Agent: 1, Extra: 250 * sim.Microsecond},
+			{At: at(0.70), Kind: SlowEnd, Agent: 1},
+		}},
+		{Name: "mixed", Events: []Event{
+			{At: at(0.08), Kind: Crash, Agent: 0},
+			{At: at(0.14), Kind: Repair, Agent: -1},
+			{At: at(0.22), Kind: Restart, Agent: 0},
+			{At: at(0.25), Kind: Repair, Agent: -1},
+			{At: at(0.32), Kind: FlakyStart, Agent: 1, Prob: 0.25},
+			{At: at(0.48), Kind: FlakyEnd, Agent: 1},
+			{At: at(0.50), Kind: Repair, Agent: -1},
+			{At: at(0.56), Kind: SlowStart, Agent: 2, Extra: 150 * sim.Microsecond},
+			{At: at(0.72), Kind: SlowEnd, Agent: 2},
+			{At: at(0.76), Kind: Partition, Agent: 3},
+			{At: at(0.88), Kind: Heal, Agent: 3},
+			{At: at(0.90), Kind: Repair, Agent: -1},
+		}},
+	}
+}
+
+// Scenario fetches one Library schedule by name.
+func Scenario(name string, horizon sim.Duration) (Schedule, bool) {
+	for _, s := range Library(horizon) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// GenConfig sizes RandomSchedule.
+type GenConfig struct {
+	Agents     int          // cluster size (faults target [0, Agents))
+	Horizon    sim.Duration // approximate run length the schedule spans
+	MaxWindows int          // fault windows to generate (default 3)
+}
+
+// RandomSchedule generates a randomized fault schedule from seed, for
+// property testing. It follows the single-fault-domain grammar: fault
+// windows never overlap, each window targets one agent with one fault kind
+// (crash/restart, partition, flaky writes, or slowness), and every window
+// closes with full healing followed by a Repair barrier. Within that
+// grammar, window kinds, targets, lengths and gaps are all random — the
+// seed is the reproduction (and shrinking) handle.
+func RandomSchedule(seed uint64, g GenConfig) Schedule {
+	if g.Agents < 2 {
+		g.Agents = 2
+	}
+	if g.Horizon <= 0 {
+		g.Horizon = 10 * sim.Millisecond
+	}
+	if g.MaxWindows <= 0 {
+		g.MaxWindows = 3
+	}
+	rng := sim.NewRNG(seed)
+	s := Schedule{Name: fmt.Sprintf("random-%d", seed)}
+	slot := g.Horizon / sim.Duration(g.MaxWindows)
+	for w := 0; w < g.MaxWindows; w++ {
+		base := sim.Duration(w) * slot
+		// Random start inside the first half of the slot, random duration
+		// within the remainder; the barrier lands before the next slot.
+		start := base + sim.Duration(rng.Int63n(int64(slot/2)+1))
+		dur := sim.Duration(rng.Int63n(int64(slot/4)+1)) + slot/8
+		end := start + dur
+		agent := rng.Intn(g.Agents)
+		switch rng.Intn(4) {
+		case 0: // crash, sometimes repaired while down, then restart
+			s.Events = append(s.Events, Event{At: start, Kind: Crash, Agent: agent})
+			if rng.Intn(2) == 0 {
+				s.Events = append(s.Events, Event{At: start + dur/2, Kind: Repair, Agent: -1})
+			}
+			s.Events = append(s.Events, Event{At: end, Kind: Restart, Agent: agent})
+		case 1:
+			s.Events = append(s.Events, Event{At: start, Kind: Partition, Agent: agent})
+			s.Events = append(s.Events, Event{At: end, Kind: Heal, Agent: agent})
+		case 2:
+			prob := 0.1 + 0.5*rng.Float64()
+			s.Events = append(s.Events, Event{At: start, Kind: FlakyStart, Agent: agent, Prob: prob})
+			s.Events = append(s.Events, Event{At: end, Kind: FlakyEnd, Agent: agent})
+		case 3:
+			extra := sim.Duration(rng.Int63n(int64(300 * sim.Microsecond)))
+			s.Events = append(s.Events, Event{At: start, Kind: SlowStart, Agent: agent, Extra: extra})
+			s.Events = append(s.Events, Event{At: end, Kind: SlowEnd, Agent: agent})
+		}
+		s.Events = append(s.Events, Event{At: end + slot/16 + 1, Kind: Repair, Agent: -1})
+	}
+	s.Events = s.sorted()
+	return s
+}

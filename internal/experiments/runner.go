@@ -38,6 +38,7 @@ var figureRegistry = []figureRunner{
 	{"11", func(s Scale, seed uint64) string { return fmt.Sprint(Fig11(s, seed)) }},
 	{"12", func(s Scale, seed uint64) string { return fmt.Sprint(Fig12(s, seed)) }},
 	{"13", func(s Scale, seed uint64) string { return fmt.Sprint(Fig13(s, seed)) }},
+	{"resilience", func(s Scale, seed uint64) string { return fmt.Sprint(Resilience(s, seed)) }},
 	{"ablations", func(s Scale, seed uint64) string {
 		parts := []string{
 			fmt.Sprint(AblationMajorityVsStrict(s, seed)),

@@ -36,6 +36,14 @@ func NewAgent(slabPages, maxSlabs int) *Agent {
 // SlabPages reports the slab granularity.
 func (a *Agent) SlabPages() int { return a.slabPages }
 
+// Reset drops every mapped slab — the memory loss of a process restart.
+// Operation counters survive (they are cumulative over the agent's life).
+func (a *Agent) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.slabs = make(map[SlabID][]byte)
+}
+
 // SlabCount reports the number of mapped slabs.
 func (a *Agent) SlabCount() int {
 	a.mu.Lock()

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"leap/internal/core"
@@ -57,7 +58,10 @@ type Host struct {
 	// stale; reads must prefer acked replicas or they break
 	// read-your-writes (divergent replicas).
 	acked map[core.PageID][]int
-	stats HostStats
+	// degraded tracks pages whose most recent write was acknowledged by
+	// fewer than Replicas agents; RepairSlabs re-pushes them.
+	degraded map[core.PageID]bool
+	stats    HostStats
 }
 
 // NewHost returns a host over the given agent transports. At least
@@ -77,6 +81,7 @@ func NewHost(cfg HostConfig, transports []Transport) (*Host, error) {
 		slabLoad:   make([]int, len(transports)),
 		placements: make(map[SlabID][]int),
 		acked:      make(map[core.PageID][]int),
+		degraded:   make(map[core.PageID]bool),
 	}, nil
 }
 
@@ -199,8 +204,51 @@ func (h *Host) WritePage(page core.PageID, data []byte) error {
 	}
 	h.mu.Lock()
 	h.acked[page] = ackedIdx
+	if len(ackedIdx) < h.cfg.Replicas {
+		h.degraded[page] = true
+	} else {
+		delete(h.degraded, page)
+	}
 	h.mu.Unlock()
 	return nil
+}
+
+// AckedReplicas reports (a copy of) the agent indices that acknowledged
+// page's most recent write — the replicas known to hold its latest bytes.
+// Repair extends the set as it re-propagates fresh copies.
+func (h *Host) AckedReplicas(page core.PageID) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return slices.Clone(h.acked[page])
+}
+
+// DegradedPages reports how many pages are currently under-acknowledged:
+// their latest write reached fewer than Replicas agents and has not been
+// re-pushed by RepairSlabs yet.
+func (h *Host) DegradedPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.degraded)
+}
+
+// UnderReplicated reports how many placed slabs currently have fewer than
+// Replicas live (not-failed) replicas — the repair backlog of §4.5.
+func (h *Host) UnderReplicated() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, replicas := range h.placements {
+		alive := 0
+		for _, idx := range replicas {
+			if !h.failed[idx] {
+				alive++
+			}
+		}
+		if alive < h.cfg.Replicas {
+			n++
+		}
+	}
+	return n
 }
 
 // ReadPage fetches one page into buf (len PageSize), trying the primary
@@ -223,22 +271,12 @@ func (h *Host) ReadPage(page core.PageID, buf []byte) error {
 	ackedIdx := h.acked[page]
 	order := make([]int, 0, len(replicas))
 	for _, idx := range replicas {
-		for _, a := range ackedIdx {
-			if idx == a {
-				order = append(order, idx)
-				break
-			}
+		if slices.Contains(ackedIdx, idx) {
+			order = append(order, idx)
 		}
 	}
 	for _, idx := range replicas {
-		seen := false
-		for _, o := range order {
-			if o == idx {
-				seen = true
-				break
-			}
-		}
-		if !seen {
+		if !slices.Contains(order, idx) {
 			order = append(order, idx)
 		}
 	}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"slices"
 
 	"leap/internal/core"
 )
@@ -23,6 +24,63 @@ func (h *Host) MarkFailed(idx int) error {
 	return nil
 }
 
+// MarkRecovered clears a MarkFailed verdict: the agent rejoins the placement
+// pool. If the agent came back empty (process restart), call PurgeAgent
+// first so stale placements do not point at its wiped memory.
+func (h *Host) MarkRecovered(idx int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx < 0 || idx >= len(h.transports) {
+		return fmt.Errorf("remote: MarkRecovered(%d) out of range", idx)
+	}
+	delete(h.failed, idx)
+	return nil
+}
+
+// PurgeAgent removes agent idx from every placement and acknowledgment set:
+// the agent's memory is gone (crash/restart), so nothing may ever read from
+// it until repair re-copies data onto it. Slabs whose only replica was idx
+// are unplaced entirely — their contents are lost and a future write
+// re-places them fresh. It reports how many slab placements dropped the
+// agent.
+func (h *Host) PurgeAgent(idx int) (dropped int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx < 0 || idx >= len(h.transports) {
+		return 0, fmt.Errorf("remote: PurgeAgent(%d) out of range", idx)
+	}
+	for slab, replicas := range h.placements {
+		if !slices.Contains(replicas, idx) {
+			continue
+		}
+		dropped++
+		rest := slices.DeleteFunc(slices.Clone(replicas), func(r int) bool { return r == idx })
+		if len(rest) == 0 {
+			delete(h.placements, slab)
+		} else {
+			h.placements[slab] = rest
+		}
+	}
+	for page, acked := range h.acked {
+		if !slices.Contains(acked, idx) {
+			continue
+		}
+		rest := slices.DeleteFunc(slices.Clone(acked), func(r int) bool { return r == idx })
+		if len(rest) == 0 {
+			// The last acknowledged copy is gone: the write is lost, and
+			// there is nothing left for repushDegraded to propagate — drop
+			// the degraded flag too, or the page wedges every future
+			// repair barrier with un-actionable work.
+			delete(h.acked, page)
+			delete(h.degraded, page)
+		} else {
+			h.acked[page] = rest
+		}
+	}
+	h.slabLoad[idx] = 0
+	return dropped, nil
+}
+
 // FailedAgents reports the indices currently marked failed, sorted.
 func (h *Host) FailedAgents() []int {
 	h.mu.Lock()
@@ -31,32 +89,31 @@ func (h *Host) FailedAgents() []int {
 	for i := range h.failed {
 		out = append(out, i)
 	}
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
 // RepairSlabs restores the configured replication factor for every slab
-// that lost replicas to failed agents: each affected slab is re-placed on a
-// healthy agent (power-of-two-choices among the survivors) and its contents
-// copied from a surviving replica, page by page. It returns the number of
-// slabs repaired.
+// that lost replicas (failed agents, purged restarts, or placements that
+// never reached the factor): each affected slab is re-placed on a healthy
+// agent (power-of-two-choices among the survivors) and its contents copied
+// from a surviving replica, page by page. It then re-pushes degraded pages
+// — pages whose latest write was acknowledged by fewer than Replicas agents
+// — from an acknowledged copy to the replicas that missed it (best effort:
+// unreachable targets stay degraded for the next round). It returns the
+// number of slabs repaired.
 //
 // This is the §4.5 re-replication path: after RepairSlabs, the failure of
 // the *other* original replica no longer loses data.
 func (h *Host) RepairSlabs() (int, error) {
 	h.mu.Lock()
-	// Snapshot the work under the lock; copying happens outside it.
+	// Snapshot the work under the lock; copying happens outside it. Jobs
+	// are sorted by slab so the repair order (and therefore the placement
+	// RNG stream and any transport-level accounting) is deterministic.
 	type job struct {
 		slab      SlabID
 		survivors []int
+		missing   int
 	}
 	var jobs []job
 	for slab, replicas := range h.placements {
@@ -66,24 +123,42 @@ func (h *Host) RepairSlabs() (int, error) {
 				alive = append(alive, idx)
 			}
 		}
-		if len(alive) < len(replicas) && len(alive) > 0 {
-			jobs = append(jobs, job{slab: slab, survivors: alive})
+		if len(alive) > 0 && len(alive) < h.cfg.Replicas {
+			jobs = append(jobs, job{slab: slab, survivors: alive, missing: h.cfg.Replicas - len(alive)})
 		}
 	}
 	h.mu.Unlock()
+	slices.SortFunc(jobs, func(a, b job) int {
+		switch {
+		case a.slab < b.slab:
+			return -1
+		case a.slab > b.slab:
+			return 1
+		}
+		return 0
+	})
 
 	repaired := 0
 	for _, j := range jobs {
-		if err := h.repairOne(j.slab, j.survivors); err != nil {
-			return repaired, err
+		survivors := j.survivors
+		for k := 0; k < j.missing; k++ {
+			target, err := h.repairOne(j.slab, survivors)
+			if err != nil {
+				return repaired, err
+			}
+			survivors = append(survivors, target)
 		}
 		repaired++
+	}
+	if err := h.repushDegraded(); err != nil {
+		return repaired, err
 	}
 	return repaired, nil
 }
 
-// repairOne restores one slab's replica set.
-func (h *Host) repairOne(slab SlabID, survivors []int) error {
+// repairOne adds one replica to slab, copying contents from survivors, and
+// returns the agent index chosen.
+func (h *Host) repairOne(slab SlabID, survivors []int) (int, error) {
 	h.mu.Lock()
 	// Choose a healthy agent not already holding the slab.
 	exclude := make(map[int]bool, len(survivors)+len(h.failed))
@@ -96,15 +171,15 @@ func (h *Host) repairOne(slab SlabID, survivors []int) error {
 	target := h.pickTwoChoices(exclude)
 	if target < 0 {
 		h.mu.Unlock()
-		return fmt.Errorf("remote: no healthy agent available to repair slab %d", slab)
+		return -1, fmt.Errorf("remote: no healthy agent available to repair slab %d", slab)
 	}
 	dst := h.transports[target]
 	h.mu.Unlock()
 
 	if resp, err := dst.Call(&Request{Op: OpMapSlab, Slab: slab}); err != nil {
-		return fmt.Errorf("remote: repair map slab %d: %w", slab, err)
+		return -1, fmt.Errorf("remote: repair map slab %d: %w", slab, err)
 	} else if resp.Status != StatusOK {
-		return statusError(OpMapSlab, resp.Status)
+		return -1, statusError(OpMapSlab, resp.Status)
 	}
 	// Copy every page from a surviving replica, preferring one that
 	// acknowledged the page's most recent write (a survivor that missed a
@@ -114,12 +189,12 @@ func (h *Host) repairOne(slab SlabID, survivors []int) error {
 		page := core.PageID(int64(slab)*int64(h.cfg.SlabPages) + int64(off))
 		h.mu.Lock()
 		srcIdx := survivors[0]
+		srcAcked := false
 		for _, s := range survivors {
-			for _, a := range h.acked[page] {
-				if s == a {
-					srcIdx = s
-					break
-				}
+			if slices.Contains(h.acked[page], s) {
+				srcIdx = s
+				srcAcked = true
+				break
 			}
 		}
 		src := h.transports[srcIdx]
@@ -127,33 +202,109 @@ func (h *Host) repairOne(slab SlabID, survivors []int) error {
 
 		rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
 		if err != nil {
-			return fmt.Errorf("remote: repair read slab %d off %d: %w", slab, off, err)
+			return -1, fmt.Errorf("remote: repair read slab %d off %d: %w", slab, off, err)
 		}
 		if rd.Status != StatusOK {
-			return statusError(OpRead, rd.Status)
+			return -1, statusError(OpRead, rd.Status)
 		}
 		wr, err := dst.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: rd.Payload})
 		if err != nil {
-			return fmt.Errorf("remote: repair write slab %d off %d: %w", slab, off, err)
+			return -1, fmt.Errorf("remote: repair write slab %d off %d: %w", slab, off, err)
 		}
 		if wr.Status != StatusOK {
-			return statusError(OpWrite, wr.Status)
+			return -1, statusError(OpWrite, wr.Status)
 		}
-		// The repaired copy now carries the freshest bytes we could find.
-		h.mu.Lock()
-		if acked, ok := h.acked[page]; ok {
-			h.acked[page] = append(acked, target)
+		// The repaired copy is only known-fresh when its source was: copying
+		// from a stale survivor must not extend the acked set, or reads
+		// would prefer the stale bytes.
+		if srcAcked {
+			h.mu.Lock()
+			if acked, ok := h.acked[page]; ok && !slices.Contains(acked, target) {
+				h.acked[page] = append(acked, target)
+			}
+			h.mu.Unlock()
 		}
-		h.mu.Unlock()
 	}
 
 	h.mu.Lock()
 	// Install the new replica set: survivors plus the repaired copy.
-	newSet := append(append([]int{}, survivors...), target)
+	newSet := append(slices.Clone(survivors), target)
 	h.placements[slab] = newSet
 	h.slabLoad[target]++
 	h.stats.Repairs++
 	h.mu.Unlock()
+	return target, nil
+}
+
+// repushDegraded walks the pages whose latest write is under-acknowledged
+// and copies the fresh bytes from an acknowledged replica to the live
+// replicas that missed the write. Unreachable targets are skipped (the page
+// stays degraded); a page with no live acknowledged copy is beyond saving
+// by this path and is left for slab-level repair.
+func (h *Host) repushDegraded() error {
+	h.mu.Lock()
+	pages := make([]core.PageID, 0, len(h.degraded))
+	for page := range h.degraded {
+		pages = append(pages, page)
+	}
+	h.mu.Unlock()
+	slices.Sort(pages)
+
+	for _, page := range pages {
+		slab, off := h.locate(page)
+		h.mu.Lock()
+		replicas := slices.Clone(h.placements[slab])
+		acked := slices.Clone(h.acked[page])
+		srcIdx := -1
+		for _, idx := range acked {
+			if !h.failed[idx] && slices.Contains(replicas, idx) {
+				srcIdx = idx
+				break
+			}
+		}
+		var targets []int
+		for _, idx := range replicas {
+			if !h.failed[idx] && !slices.Contains(acked, idx) {
+				targets = append(targets, idx)
+			}
+		}
+		var src Transport
+		if srcIdx >= 0 {
+			src = h.transports[srcIdx]
+		}
+		h.mu.Unlock()
+
+		if src == nil || len(targets) == 0 {
+			// Slab-level repair may already have restored full coverage
+			// (every live replica acked); clear the flag if so.
+			h.mu.Lock()
+			if len(h.acked[page]) >= h.cfg.Replicas {
+				delete(h.degraded, page)
+			}
+			h.mu.Unlock()
+			continue
+		}
+		rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+		if err != nil || rd.Status != StatusOK {
+			continue // source unreachable this round; retry next repair
+		}
+		for _, idx := range targets {
+			wr, err := h.transports[idx].Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: rd.Payload})
+			if err != nil || wr.Status != StatusOK {
+				continue // target unreachable; page stays degraded
+			}
+			h.mu.Lock()
+			if a, ok := h.acked[page]; ok && !slices.Contains(a, idx) {
+				h.acked[page] = append(a, idx)
+			}
+			h.mu.Unlock()
+		}
+		h.mu.Lock()
+		if len(h.acked[page]) >= h.cfg.Replicas {
+			delete(h.degraded, page)
+		}
+		h.mu.Unlock()
+	}
 	return nil
 }
 

@@ -188,6 +188,70 @@ func TestFlakyTransportWritesSurvive(t *testing.T) {
 	}
 }
 
+func TestPurgeAgentClearsOrphanedDegradedFlag(t *testing.T) {
+	// A page whose ONLY acked holder is purged loses its last fresh copy:
+	// the degraded flag must go with the acked entry, or the page wedges
+	// every future repair barrier with un-actionable re-push work.
+	agents := []*Agent{NewAgent(8, 0), NewAgent(8, 0)}
+	inprocs := []*InProc{NewInProc(agents[0]), NewInProc(agents[1])}
+	h, err := NewHost(HostConfig{SlabPages: 8, Replicas: 2, Seed: 3},
+		[]Transport{inprocs[0], inprocs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WritePage(1, pageOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Fail one replica transiently so the rewrite is acked by a single agent.
+	acked := h.AckedReplicas(1)
+	if len(acked) != 2 {
+		t.Fatalf("setup: acked = %v", acked)
+	}
+	down := acked[1]
+	inprocs[down].SetFailed(true)
+	if err := h.WritePage(1, pageOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	if h.DegradedPages() != 1 {
+		t.Fatalf("DegradedPages = %d, want 1", h.DegradedPages())
+	}
+	sole := h.AckedReplicas(1)
+	if len(sole) != 1 {
+		t.Fatalf("acked after partial write = %v", sole)
+	}
+	// Crash the sole holder and purge it: the write is lost, and the
+	// degraded flag must not survive as permanent un-repairable backlog.
+	inprocs[down].SetFailed(false)
+	if _, err := h.PurgeAgent(sole[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.DegradedPages(); got != 0 {
+		t.Fatalf("DegradedPages = %d after purging the only acked holder, want 0", got)
+	}
+	if got := h.AckedReplicas(1); len(got) != 0 {
+		t.Fatalf("acked survived purge: %v", got)
+	}
+}
+
+func TestMarkRecoveredAndPurgeValidation(t *testing.T) {
+	h, _ := buildCluster(t, 2, 8, 19)
+	if err := h.MarkRecovered(99); err == nil {
+		t.Fatal("out-of-range MarkRecovered accepted")
+	}
+	if _, err := h.PurgeAgent(-1); err == nil {
+		t.Fatal("out-of-range PurgeAgent accepted")
+	}
+	if err := h.MarkFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.MarkRecovered(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.FailedAgents(); len(got) != 0 {
+		t.Fatalf("FailedAgents after recover = %v", got)
+	}
+}
+
 func TestSlabOfConsistentWithWrites(t *testing.T) {
 	h, _ := buildCluster(t, 2, 8, 31)
 	if h.SlabOf(0) != h.SlabOf(7) {

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// durationUnits maps a unit suffix to its size in virtual nanoseconds,
+// longest suffixes first so "ms" wins over "s".
+var durationUnits = []struct {
+	suffix string
+	scale  Duration
+}{
+	{"ns", Nanosecond},
+	{"µs", Microsecond},
+	{"μs", Microsecond}, // U+03BC, the other common mu
+	{"us", Microsecond},
+	{"ms", Millisecond},
+	{"s", Second},
+}
+
+// ParseDuration parses a virtual-time duration like "250ns", "4.3µs",
+// "10ms" or "1.5s". The accepted units are ns, us/µs, ms and s; a bare
+// number is rejected so schedule files stay unit-explicit.
+func ParseDuration(s string) (Duration, error) {
+	s = strings.TrimSpace(s)
+	for _, u := range durationUnits {
+		num, ok := strings.CutSuffix(s, u.suffix)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+		if err != nil {
+			return 0, fmt.Errorf("sim: bad duration %q: %v", s, err)
+		}
+		// ParseFloat accepts "inf"/"NaN"/overflowing exponents; converting
+		// those (or anything past MaxInt64 ns) to Duration would wrap to a
+		// huge negative value with no error.
+		if math.IsNaN(v) || v < 0 {
+			return 0, fmt.Errorf("sim: negative or NaN duration %q", s)
+		}
+		ns := v * float64(u.scale)
+		if ns >= float64(math.MaxInt64) {
+			return 0, fmt.Errorf("sim: duration %q overflows", s)
+		}
+		return Duration(ns), nil
+	}
+	return 0, fmt.Errorf("sim: duration %q needs a unit (ns, us, ms, s)", s)
+}

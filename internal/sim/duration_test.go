@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"250ns", 250 * Nanosecond},
+		{"4.3µs", 4300 * Nanosecond},
+		{"4.3μs", 4300 * Nanosecond},
+		{"200us", 200 * Microsecond},
+		{"10ms", 10 * Millisecond},
+		{"1.5s", 1500 * Millisecond},
+		{" 7ms ", 7 * Millisecond},
+		{"0ns", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseDuration(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDurationRejects(t *testing.T) {
+	for _, in := range []string{"", "10", "abcms", "-5ms", "10m", "ms", "infs", "NaNns", "1e300ms", "-infµs"} {
+		if d, err := ParseDuration(in); err == nil {
+			t.Fatalf("ParseDuration(%q) = %v, want error", in, d)
+		}
+	}
+}
+
+func TestParseDurationRoundTripsString(t *testing.T) {
+	// Values printed by Duration.String() at each unit parse back exactly.
+	for _, d := range []Duration{3 * Nanosecond, 40 * Microsecond, 7 * Millisecond, 2 * Second} {
+		got, err := ParseDuration(d.String())
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Fatalf("round trip %v → %v", d, got)
+		}
+	}
+}

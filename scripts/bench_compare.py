@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diff a fresh benchmark run against a recorded baseline and fail on
+regressions.
+
+    bench_compare.py BASELINE.json FRESH.json [--threshold 0.15]
+
+Both files are the scripts/bench2json.py format. The gate applies to the
+two headline hot-path benchmarks:
+
+  - ns/op more than --threshold (default 15%) above baseline fails;
+  - ANY allocs/op increase fails (the hot path is allocation-free by
+    construction; one alloc per op is how it regresses silently).
+
+Other shared benchmarks are reported for context but don't gate: figure
+drivers run one iteration each, so their ns/op is too noisy to gate on.
+Exit status: 0 clean, 1 regression, 2 usage/data error.
+"""
+import argparse
+import json
+import sys
+
+HEADLINE = ["BenchmarkSimulatorThroughput", "BenchmarkPredictorFaultPath"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {b["name"]: b.get("metrics", {}) for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional ns/op growth on headline benchmarks")
+    args = ap.parse_args()
+
+    base, fresh = load(args.baseline), load(args.fresh)
+    missing = [n for n in HEADLINE if n not in base or n not in fresh]
+    if missing:
+        print(f"bench_compare: headline benchmarks missing: {', '.join(missing)}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"{'benchmark':<42} {'base ns/op':>12} {'fresh ns/op':>12} "
+          f"{'delta':>8}  {'allocs':>13}")
+    for name in sorted(set(base) & set(fresh)):
+        b, f = base[name], fresh[name]
+        bn, fn = b.get("ns/op"), f.get("ns/op")
+        ba, fa = b.get("allocs/op", 0.0), f.get("allocs/op", 0.0)
+        if bn is None or fn is None:
+            continue
+        delta = (fn - bn) / bn if bn else 0.0
+        gate = name in HEADLINE
+        verdict = ""
+        if gate:
+            if delta > args.threshold:
+                verdict = f"FAIL ns/op +{delta:.1%} > {args.threshold:.0%}"
+            if fa > ba:
+                verdict = (verdict + "; " if verdict else "") + \
+                    f"FAIL allocs/op {ba:g} -> {fa:g}"
+            if verdict:
+                failures.append(f"{name}: {verdict}")
+        mark = " *" if gate else ""
+        print(f"{name:<42} {bn:>12.4g} {fn:>12.4g} {delta:>+7.1%} "
+              f"{ba:>6g}->{fa:<6g}{mark}")
+    print("(* gated headline benchmark)")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: headline benchmarks within {args.threshold:.0%} ns/op, "
+          "no allocs/op growth")
+
+
+if __name__ == "__main__":
+    main()
