@@ -1,8 +1,10 @@
 // Remoteswap: stand up three remote-memory agents over real TCP loopback
-// connections, map slabs across them with power-of-two-choices placement
-// and two-way replication, push pages out and read them back — then kill an
-// agent and watch reads fail over to replicas. This is the §4.4–4.5
-// substrate moving real bytes.
+// connections, map slabs across them with rendezvous-hashed placement and
+// two-way replication, push pages out through the async ticket engine
+// (doorbell-batched wire frames) and read them back — then kill an agent
+// and watch reads fail over to replicas, and add a fourth agent and watch
+// Rebalance migrate only its rendezvous share of slabs. This is the
+// §4.4–4.5 substrate moving real bytes.
 //
 // With -chaos, the demo then runs the deterministic chaos harness over a
 // fresh four-agent TCP cluster: a scripted partition and a flaky-write
@@ -49,27 +51,41 @@ func main() {
 	}()
 
 	host, err := leap.NewRemoteHost(leap.RemoteHostConfig{
-		SlabPages: 256,
-		Replicas:  2,
-		Seed:      42,
+		SlabPages:  256,
+		Replicas:   2,
+		QueueDepth: 16, // up to 16 pages per doorbell frame
+		Seed:       42,
 	}, transports)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer host.Close()
 
-	// Page out 2048 pages (8MB) across the cluster.
-	fmt.Println("\nwriting 2048 pages through the host agent...")
+	// Page out 2048 pages (8MB) across the cluster through the async
+	// engine: enqueue a window of writes, ring the doorbell once, and the
+	// queued pages go out as batched wire frames (one round trip per agent
+	// per 16 pages instead of one per page).
+	fmt.Println("\nwriting 2048 pages through the async ticket engine...")
 	buf := make([]byte, leap.RemotePageSize)
+	var last *leap.RemoteTicket
 	for p := leap.PageID(0); p < 2048; p++ {
 		for i := range buf {
 			buf[i] = byte(p) ^ byte(i)
 		}
-		if err := host.WritePage(p, buf); err != nil {
-			log.Fatalf("write page %d: %v", p, err)
+		last = host.WritePageAsync(p, buf) // engine copies buf; reuse it freely
+		if host.PendingWrites() >= 64 {    // bounded dirty backlog
+			if err := host.Flush(); err != nil {
+				log.Fatalf("flush: %v", err)
+			}
 		}
 	}
-	fmt.Printf("slab load per agent (power-of-two-choices): %v\n", host.SlabLoad())
+	if err := last.Wait(); err != nil { // Wait flushes whatever remains
+		log.Fatalf("final write: %v", err)
+	}
+	st := host.Stats()
+	fmt.Printf("slab load per agent (rendezvous hashing): %v\n", host.SlabLoad())
+	fmt.Printf("batched frames: %d carrying %d pages (%.1f pages/doorbell)\n",
+		st.BatchCalls, st.BatchedPages, float64(st.BatchedPages)/float64(st.BatchCalls))
 
 	// Read back and verify.
 	for p := leap.PageID(0); p < 2048; p++ {
@@ -92,12 +108,49 @@ func main() {
 			failed++
 		}
 	}
-	st := host.Stats()
+	st = host.Stats()
 	fmt.Printf("reads failed: %d; failovers served by replicas: %d\n", failed, st.Failovers)
 	if failed > 0 {
 		log.Fatal("replication failed to mask the dead agent")
 	}
 	fmt.Println("two-way replication masked the failure completely")
+
+	// Mark the dead agent failed, then grow the pool: a fourth agent joins
+	// and Rebalance migrates exactly the slabs whose rendezvous ranking it
+	// now wins — reusing the repair copy machinery — instead of reshuffling
+	// the world.
+	fmt.Println("\nmarking agent 0 failed and adding agent 3...")
+	if err := host.MarkFailed(0); err != nil {
+		log.Fatal(err)
+	}
+	agent3 := leap.NewRemoteAgent(256, 64)
+	l3, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	listeners = append(listeners, l3)
+	go agent3.Serve(l3) //nolint:errcheck // closed at exit
+	tr3, err := leap.DialRemoteAgent(l3.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := host.AddAgent(tr3)
+	moved, err := host.Rebalance()
+	if err != nil {
+		log.Fatalf("rebalance: %v", err)
+	}
+	fmt.Printf("agent %d joined on %s; rebalance moved %d of %d slabs (the failed agent's share + the newcomer's wins)\n",
+		idx, l3.Addr(), moved, st.SlabsMapped)
+	fmt.Printf("slab load per agent after rebalance: %v\n", host.SlabLoad())
+	for p := leap.PageID(0); p < 2048; p++ {
+		if err := host.ReadPage(p, buf); err != nil {
+			log.Fatalf("read page %d after rebalance: %v", p, err)
+		}
+		if buf[17] != byte(p)^17 {
+			log.Fatalf("page %d corrupted after rebalance", p)
+		}
+	}
+	fmt.Println("all 2048 pages verified again after rebalance")
 	_ = remote.StatusOK // keep the wire-protocol package linked for docs
 
 	if *runChaos {

@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"leap/internal/sim"
+)
+
+// TestBatchedLibrarySchedulesUpholdInvariants runs every shipped schedule
+// through the async doorbell datapath at several queue depths: fault events
+// land between enqueues, so crashes and partitions hit batches in flight,
+// and the acked-write invariants must hold exactly as in synchronous mode.
+func TestBatchedLibrarySchedulesUpholdInvariants(t *testing.T) {
+	for _, depth := range []int{2, 4, 8} {
+		cfg := Config{Ops: 3000, Pages: 192, Seed: 7, QueueDepth: depth}
+		for _, sched := range Library(cfg.Horizon()) {
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Run(sched)
+			if err != nil {
+				t.Fatalf("depth %d, schedule %s: %v", depth, sched.Name, err)
+			}
+			if v := rep.Violations(); v != 0 {
+				t.Fatalf("depth %d, schedule %s: %d violations\n%s", depth, sched.Name, v, rep)
+			}
+			if rep.Reads == 0 || rep.Writes == 0 {
+				t.Fatalf("depth %d, schedule %s: vacuous run\n%s", depth, sched.Name, rep)
+			}
+		}
+	}
+}
+
+// TestBatchedCrashMidBatchNoAckedLoss is the targeted crash-while-a-batch-
+// is-in-flight case: an agent crashes while writes are queued but not yet
+// flushed. Writes that never got acked may fail (the model keeps the prior
+// version); writes that were acked must survive to the final readback.
+func TestBatchedCrashMidBatchNoAckedLoss(t *testing.T) {
+	cfg := Config{Ops: 2500, Pages: 128, Seed: 23, QueueDepth: 8, WriteFrac: 0.6}
+	h := cfg.Horizon()
+	// Crash at an odd offset so it lands mid-group with high probability
+	// (groups flush every 8 ops), repair while down, restart, barrier.
+	sched := Schedule{Name: "crash-mid-batch", Events: []Event{
+		{At: h / 7, Kind: Crash, Agent: 1},
+		{At: h / 5, Kind: Repair, Agent: -1},
+		{At: h / 2, Kind: Restart, Agent: 1},
+		{At: h/2 + h/20, Kind: Repair, Agent: -1},
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations() != 0 {
+		t.Fatalf("acked-write invariants violated with a crash mid-batch:\n%s", rep)
+	}
+	st := rep.HostStats
+	if st.BatchCalls == 0 || st.BatchedPages <= st.BatchCalls {
+		t.Fatalf("run never used batched frames: %+v", st)
+	}
+	if st.AsyncWrites == 0 || st.AsyncReads == 0 {
+		t.Fatalf("run never used the async engine: %+v", st)
+	}
+}
+
+// TestBatchedRunDeterministic pins the batched datapath's determinism:
+// same (config, schedule, seed) → identical report, histograms included.
+func TestBatchedRunDeterministic(t *testing.T) {
+	cfg := Config{Ops: 2000, Pages: 160, Seed: 42, QueueDepth: 4,
+		RepairEvery: 2 * sim.Millisecond}
+	run := func() *Report {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _ := Scenario("mixed", cfg.Horizon())
+		rep, err := c.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed batched runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestBatchedPropertyRandomSchedules extends the randomized property suite
+// to the async datapath: disciplined random fault schedules at random queue
+// depths (2–8), zero violations required.
+func TestBatchedPropertyRandomSchedules(t *testing.T) {
+	cases := 400
+	if testing.Short() {
+		cases = 150
+	}
+	for i := 0; i < cases; i++ {
+		seed := 0xBA7C4<<16 | uint64(i)
+		cfg := Config{
+			Agents:     3 + int(seed%3),
+			SlabPages:  4,
+			Pages:      48,
+			Ops:        120,
+			WriteFrac:  0.45,
+			Seed:       seed,
+			QueueDepth: 2 + int((seed>>8)%7), // 2–8
+		}
+		sched := RandomSchedule(seed^0x5eedfa17, GenConfig{
+			Agents:     cfg.Agents,
+			Horizon:    cfg.Horizon(),
+			MaxWindows: 4,
+		})
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(sched)
+		if err != nil {
+			t.Fatalf("case seed=%#x depth=%d: %v\nschedule:\n%s", seed, cfg.QueueDepth, err, sched)
+		}
+		if rep.Violations() != 0 {
+			t.Fatalf("case seed=%#x depth=%d violated invariants:\n%s\nschedule:\n%s",
+				seed, cfg.QueueDepth, rep, sched)
+		}
+	}
+}
+
+// TestBatchedCoalescingObserved checks the engine actually coalesces
+// duplicate reads and serves read-your-writes from the dirty buffer
+// somewhere in a plain batched run — the stats that prove the features are
+// live, not dead code.
+func TestBatchedCoalescingObserved(t *testing.T) {
+	var coalesced, dirty int64
+	for seed := uint64(0); seed < 8; seed++ {
+		cfg := Config{Ops: 4000, Pages: 32, Seed: seed, QueueDepth: 8, WriteFrac: 0.5}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(Schedule{Name: "baseline"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Violations() != 0 {
+			t.Fatalf("seed %d: violations\n%s", seed, rep)
+		}
+		coalesced += rep.HostStats.CoalescedReads
+		dirty += rep.HostStats.DirtyReads
+	}
+	if coalesced == 0 {
+		t.Error("no run coalesced a duplicate in-flight read")
+	}
+	if dirty == 0 {
+		t.Error("no run served a read from a queued write (read-your-writes)")
+	}
+}

@@ -39,6 +39,13 @@ type Config struct {
 	// period — the background repair daemon whose traffic interferes with
 	// the workload through the shared fabric queues.
 	RepairEvery sim.Duration
+	// QueueDepth selects the datapath: 1 (the default) issues every page
+	// operation synchronously; >1 groups up to QueueDepth operations
+	// through the host's async ticket engine and drains them with one
+	// doorbell per agent (batched wire frames). Fault events still fire
+	// between enqueues, so crashes land while batches are in flight — the
+	// invariants must hold regardless.
+	QueueDepth int
 	// Seed drives everything: workload, placement, fault decisions, fabric
 	// jitter.
 	Seed uint64
@@ -70,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailDetect <= 0 {
 		c.FailDetect = 30 * sim.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1
 	}
 	return c
 }
@@ -179,6 +189,25 @@ type Cluster struct {
 	report     Report
 	buf        []byte
 	ran        bool
+
+	// Batched-mode state (QueueDepth > 1): the open doorbell group, its
+	// per-page bookkeeping, and a read-buffer pool.
+	group       []groupOp
+	groupWrites map[core.PageID]uint32 // page → version queued in this group
+	groupReads  map[core.PageID]bool
+	bufPool     [][]byte
+	doneBuf     []sim.Time
+}
+
+// groupOp is one enqueued-but-unflushed operation in batched mode.
+type groupOp struct {
+	page    core.PageID
+	isWrite bool
+	version uint32 // writes: queued version; reads: expected version
+	buf     []byte // reads: destination
+	ticket  *remote.Ticket
+	dirty   bool // read served immediately from a queued write's buffer
+	isNew   bool // writes: page had never been written before
 }
 
 // New builds a cluster of cfg.Agents in-process agents behind fault
@@ -210,14 +239,16 @@ func NewWithTransports(cfg Config, inner []remote.Transport) (*Cluster, error) {
 	}
 	base := sim.NewRNG(cfg.Seed)
 	c := &Cluster{
-		cfg:    cfg,
-		clock:  &sim.Clock{},
-		rng:    base.Fork(1),
-		fabric: rdma.New(cfg.Fabric, base.Fork(2)),
-		agents: make([]*remote.Agent, cfg.Agents),
-		faults: make([]*remote.FaultTransport, cfg.Agents),
-		model:  make(map[core.PageID]*pageState),
-		buf:    make([]byte, remote.PageSize),
+		cfg:         cfg,
+		clock:       &sim.Clock{},
+		rng:         base.Fork(1),
+		fabric:      rdma.New(cfg.Fabric, base.Fork(2)),
+		agents:      make([]*remote.Agent, cfg.Agents),
+		faults:      make([]*remote.FaultTransport, cfg.Agents),
+		model:       make(map[core.PageID]*pageState),
+		buf:         make([]byte, remote.PageSize),
+		groupWrites: make(map[core.PageID]uint32),
+		groupReads:  make(map[core.PageID]bool),
 	}
 	transports := make([]remote.Transport, cfg.Agents)
 	for i, tr := range inner {
@@ -227,9 +258,10 @@ func NewWithTransports(cfg Config, inner []remote.Transport) (*Cluster, error) {
 		transports[i] = ft
 	}
 	host, err := remote.NewHost(remote.HostConfig{
-		SlabPages: cfg.SlabPages,
-		Replicas:  cfg.Replicas,
-		Seed:      base.Uint64(),
+		SlabPages:  cfg.SlabPages,
+		Replicas:   cfg.Replicas,
+		QueueDepth: cfg.QueueDepth,
+		Seed:       base.Uint64(),
 	}, transports)
 	if err != nil {
 		return nil, err
@@ -245,14 +277,17 @@ func (c *Cluster) Host() *remote.Host { return c.host }
 func (c *Cluster) Faults() []*remote.FaultTransport { return c.faults }
 
 // observe charges one transport call to the fabric (or the failure-detect
-// timeout) on the current op's virtual-time cursor.
+// timeout) on the current op's virtual-time cursor. A batched frame is one
+// doorbell: it pays the round-trip latency once and per-page service time,
+// so the cursor lands on the batch's last completion.
 func (c *Cluster) observe(o remote.CallObservation) {
 	c.callsInOp++
 	if o.Injected {
 		c.cursor = c.cursor.Add(c.cfg.FailDetect)
 		return
 	}
-	c.cursor = c.fabric.Submit(o.Agent, c.cursor)
+	c.doneBuf = c.fabric.SubmitBatch(o.Agent, o.Pages, c.cursor, c.doneBuf)
+	c.cursor = c.doneBuf[len(c.doneBuf)-1]
 	if o.Extra > 0 {
 		c.cursor = c.cursor.Add(o.Extra)
 	}
@@ -453,6 +488,120 @@ func (c *Cluster) doRead(page core.PageID) {
 	}
 }
 
+// readBuf takes a page buffer off the pool.
+func (c *Cluster) readBuf() []byte {
+	if n := len(c.bufPool); n > 0 {
+		buf := c.bufPool[n-1]
+		c.bufPool = c.bufPool[:n-1]
+		return buf
+	}
+	return make([]byte, remote.PageSize)
+}
+
+// enqueueWrite queues one model-checked write into the open doorbell group.
+// A second write to a page already queued supersedes it (last writer wins),
+// exactly as the host engine promises.
+func (c *Cluster) enqueueWrite(page core.PageID) {
+	st := c.model[page]
+	version := uint32(1)
+	if st != nil {
+		version = st.version + 1
+	}
+	if v, ok := c.groupWrites[page]; ok {
+		version = v + 1
+	}
+	fill(c.buf, page, version)
+	t := c.host.WritePageAsync(page, c.buf)
+	c.group = append(c.group, groupOp{
+		page: page, isWrite: true, version: version, ticket: t, isNew: st == nil,
+	})
+	c.groupWrites[page] = version
+	c.report.Writes++
+}
+
+// enqueueRead queues one model-checked read. A read of a page with a queued
+// write in the same group completes immediately from the dirty buffer
+// (read-your-writes); its expectation is the queued version.
+func (c *Cluster) enqueueRead(page core.PageID) {
+	op := groupOp{page: page, buf: c.readBuf()}
+	if v, ok := c.groupWrites[page]; ok {
+		op.version = v
+		op.dirty = true
+	} else {
+		op.version = c.model[page].version
+	}
+	op.ticket = c.host.ReadPageAsync(page, op.buf)
+	c.group = append(c.group, op)
+	c.groupReads[page] = true
+	c.report.Reads++
+}
+
+// flushGroup rings the doorbell: it drains the host's queues under
+// virtual-time accounting and resolves every queued operation against the
+// model. The whole group shares one measured latency (the ops complete
+// together at doorbell completion); failover counting uses the host's own
+// counter delta across the flush.
+func (c *Cluster) flushGroup() {
+	if len(c.group) == 0 {
+		return
+	}
+	failovers0 := c.host.Stats().Failovers
+	lat, _, _ := c.timed(func() error { return c.host.Flush() })
+
+	// Writes first: bring the model's versions and holder sets up to date
+	// before judging reads.
+	for _, op := range c.group {
+		if !op.isWrite {
+			continue
+		}
+		if err := op.ticket.Err(); err != nil {
+			c.report.WriteFailures++
+			continue
+		}
+		st := c.model[op.page]
+		if st == nil {
+			st = &pageState{}
+			c.model[op.page] = st
+			c.written = append(c.written, op.page)
+		}
+		if op.version > st.version {
+			st.version = op.version
+		}
+		st.holders = c.host.AckedReplicas(op.page)
+		c.report.WriteLatency.Observe(lat)
+	}
+	for _, op := range c.group {
+		if op.isWrite {
+			continue
+		}
+		st := c.model[op.page]
+		err := op.ticket.Err()
+		ok := err == nil && fresh(op.buf, op.page, op.version)
+		switch {
+		case ok:
+			c.report.ReadLatency.Observe(lat)
+		case op.dirty:
+			// A dirty read is served host-locally; it cannot legitimately
+			// miss its own queued bytes.
+			c.report.FreshnessViolations++
+		case st != nil && c.holderReachable(st):
+			c.report.FreshnessViolations++
+		default:
+			c.report.DegradedReads++
+		}
+		c.bufPool = append(c.bufPool, op.buf)
+	}
+	if d := c.host.Stats().Failovers - failovers0; d > 0 {
+		c.report.FailoverReads += d
+		for i := int64(0); i < d; i++ {
+			c.report.FailoverLatency.Observe(lat)
+		}
+	}
+	c.group = c.group[:0]
+	clear(c.groupWrites)
+	clear(c.groupReads)
+}
+
 // Run executes the workload under the schedule and returns the report. The
 // run ends with a full heal + repair barrier and a complete readback, so
 // "zero acked-write losses" is checked against every page ever written.
@@ -470,6 +619,7 @@ func (c *Cluster) Run(sched Schedule) (*Report, error) {
 	}
 	c.ran = true
 	c.report = Report{Schedule: sched.Name}
+	batched := c.cfg.QueueDepth > 1
 	events := sched.sorted()
 	ei := 0
 	for op := 0; op < c.cfg.Ops; op++ {
@@ -477,6 +627,12 @@ func (c *Cluster) Run(sched Schedule) (*Report, error) {
 		next := c.clock.Now().Add(gap)
 		for ei < len(events) && sim.Time(0).Add(events[ei].At) <= next {
 			c.clock.AdvanceTo(sim.Time(0).Add(events[ei].At))
+			// Fault events deliberately land between enqueues — a crash
+			// here hits a batch in flight. Repair is host maintenance, so
+			// it drains the doorbell first.
+			if events[ei].Kind == Repair {
+				c.flushGroup()
+			}
 			if err := c.apply(events[ei]); err != nil {
 				return nil, err
 			}
@@ -484,16 +640,36 @@ func (c *Cluster) Run(sched Schedule) (*Report, error) {
 		}
 		c.clock.AdvanceTo(next)
 		if c.cfg.RepairEvery > 0 && c.clock.Now().Sub(c.lastRepair) >= c.cfg.RepairEvery {
+			c.flushGroup()
 			c.runRepair()
 		}
 		c.report.Ops++
 		page := core.PageID(c.rng.Int63n(c.cfg.Pages))
 		if len(c.written) == 0 || c.rng.Float64() < c.cfg.WriteFrac {
-			c.doWrite(page)
+			if !batched {
+				c.doWrite(page)
+			} else {
+				// A write behind a queued wire read of the same page would
+				// make the read's expected version ambiguous (flush order
+				// vs failover order); draining first keeps the model exact.
+				if c.groupReads[page] {
+					c.flushGroup()
+				}
+				c.enqueueWrite(page)
+			}
 		} else {
-			c.doRead(c.written[c.rng.Intn(len(c.written))])
+			target := c.written[c.rng.Intn(len(c.written))]
+			if !batched {
+				c.doRead(target)
+			} else {
+				c.enqueueRead(target)
+			}
+		}
+		if batched && len(c.group) >= c.cfg.QueueDepth {
+			c.flushGroup()
 		}
 	}
+	c.flushGroup()
 	// Drain any schedule tail, then close with a full heal + barrier.
 	for ; ei < len(events); ei++ {
 		c.clock.AdvanceTo(sim.Time(0).Add(events[ei].At))

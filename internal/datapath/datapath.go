@@ -145,6 +145,18 @@ func (p *Path) HitLatency() sim.Duration {
 	return p.cfg.HitPath.Sample(p.rng)
 }
 
+// DoorbellOverhead samples the host-side cost of one batched submission:
+// the path is traversed once — one fault-handler entry, one (legacy-only)
+// block-layer pass, one dispatch-queue insertion — and every request in the
+// doorbell rides it together. This is exactly how Linux's swapin_readahead
+// amortizes the block layer over a read-ahead window, and how Leap's lean
+// path amortizes its dispatch doorbell (§4.4); the per-page residual cost
+// lives in the device/fabric service time, not here. Draws the same samples
+// as RequestOverhead, so a one-op doorbell costs exactly one request.
+func (p *Path) DoorbellOverhead() Breakdown {
+	return p.RequestOverhead()
+}
+
 // MeanOverhead reports the expected host-side overhead of this path — the
 // analytic counterpart of RequestOverhead for quick sanity checks.
 func (p *Path) MeanOverhead() sim.Duration {

@@ -39,6 +39,7 @@ var figureRegistry = []figureRunner{
 	{"12", func(s Scale, seed uint64) string { return fmt.Sprint(Fig12(s, seed)) }},
 	{"13", func(s Scale, seed uint64) string { return fmt.Sprint(Fig13(s, seed)) }},
 	{"resilience", func(s Scale, seed uint64) string { return fmt.Sprint(Resilience(s, seed)) }},
+	{"scaling", func(s Scale, seed uint64) string { return fmt.Sprint(Scaling(s, seed)) }},
 	{"ablations", func(s Scale, seed uint64) string {
 		parts := []string{
 			fmt.Sprint(AblationMajorityVsStrict(s, seed)),

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"leap/internal/core"
+	"leap/internal/datapath"
+	"leap/internal/metrics"
+	"leap/internal/rdma"
+	"leap/internal/remote"
+	"leap/internal/sim"
+)
+
+// ScalingRow is one (agents, queue depth) point: closed-loop throughput and
+// per-op tail latency of the sharded remote-memory engine.
+type ScalingRow struct {
+	Agents     int
+	Depth      int
+	Ops        int64
+	Elapsed    sim.Duration
+	OpsPerSec  float64
+	P50        sim.Duration
+	P99        sim.Duration
+	Doorbells  int64
+	PagesPerDB float64
+}
+
+// ScalingResult is the `-fig scaling` sweep: the rendezvous-sharded,
+// batched, asynchronous remote-memory engine driven closed-loop at a
+// pipeline window of agents × depth outstanding operations per doorbell
+// round — the fio-style iodepth discipline. Throughput rises along both
+// axes: deeper doorbells amortize the per-submission dispatch cost and the
+// wire round trip over more pages (3PO's observation that prefetch benefit
+// is bounded by how fast the far-memory path drains), and more agents drain
+// batches in parallel behind independent fabric queues. Every latency
+// distribution in the sweep is configured deterministic (σ=0), so the
+// figure is a pure function of (Scale, seed) and the depth-1→8 throughput
+// gain is structural, not sampling noise.
+type ScalingResult struct {
+	Rows []ScalingRow
+}
+
+// scalingAgents and scalingDepths are the sweep grid.
+var (
+	scalingAgents = []int{1, 2, 4, 8}
+	scalingDepths = []int{1, 2, 4, 8}
+)
+
+// scalingLoop charges one closed-loop driver's virtual time: transport
+// calls observed from the host's flush become doorbells — host-side
+// submission cost on a serial cursor, wire time on the fabric's per-agent
+// queues — and the group completes when its last page lands.
+type scalingLoop struct {
+	fabric   *rdma.Fabric
+	path     *datapath.Path
+	cursor   sim.Time // host CPU: doorbell submissions serialize here
+	done     sim.Time // latest wire completion in the open group
+	buf      []sim.Time
+	doorbell int64
+	pages    int64
+}
+
+func (l *scalingLoop) observe(o remote.CallObservation) {
+	// One doorbell: the host traverses the lean submission path once for
+	// the whole frame, then the fabric streams its pages.
+	l.cursor = l.cursor.Add(l.path.DoorbellOverhead().Total())
+	l.buf = l.fabric.SubmitBatch(o.Agent, o.Pages, l.cursor, l.buf)
+	l.doorbell++
+	l.pages += int64(o.Pages)
+	if last := l.buf[len(l.buf)-1]; last > l.done {
+		l.done = last
+	}
+}
+
+// deterministicPath is the lean path with σ=0 stage costs (paper means).
+func deterministicPath(rng *sim.RNG) *datapath.Path {
+	return datapath.New(datapath.Config{
+		Kind:     datapath.Lean,
+		Entry:    sim.Normal{Mu: 270, Sigma: 0, Floor: 270},
+		Dispatch: sim.Normal{Mu: 2100, Sigma: 0, Floor: 2100},
+		HitPath:  sim.Normal{Mu: 270, Sigma: 0, Floor: 270},
+	}, rng)
+}
+
+// runScalingPoint measures one (agents, depth) grid point.
+func runScalingPoint(agents, depth, ops int, seed uint64) ScalingRow {
+	base := sim.NewRNG(seed ^ uint64(agents)<<8 ^ uint64(depth))
+	loop := &scalingLoop{
+		fabric: rdma.New(rdma.Config{
+			Queues:    agents,
+			OpLatency: sim.Normal{Mu: 4300, Sigma: 0, Floor: 4300},
+		}, base.Fork(1)),
+		path: deterministicPath(base.Fork(2)),
+	}
+	transports := make([]remote.Transport, agents)
+	for i := 0; i < agents; i++ {
+		ft := remote.NewFaultTransport(i, remote.NewInProc(remote.NewAgent(64, 0)), nil)
+		ft.SetObserver(loop.observe)
+		transports[i] = ft
+	}
+	replicas := 2
+	if agents < 2 {
+		replicas = 1
+	}
+	host, err := remote.NewHost(remote.HostConfig{
+		SlabPages:  64,
+		Replicas:   replicas,
+		QueueDepth: depth,
+		Seed:       seed,
+	}, transports)
+	if err != nil {
+		panic(err)
+	}
+
+	const pageCount = 1024
+	window := agents * depth // outstanding ops per doorbell round
+	rng := base.Fork(3)
+	page := make([]byte, remote.PageSize)
+	bufs := make([][]byte, window)
+	for i := range bufs {
+		bufs[i] = make([]byte, remote.PageSize)
+	}
+	var clock sim.Time
+
+	// flushGroup rings the doorbell for the open group and advances the
+	// closed loop to its completion, returning the group's latency.
+	flushGroup := func() sim.Duration {
+		start := clock
+		loop.cursor, loop.done = clock, clock
+		if err := host.Flush(); err != nil {
+			panic(err)
+		}
+		end := loop.done
+		if loop.cursor > end {
+			end = loop.cursor
+		}
+		clock = end
+		return end.Sub(start)
+	}
+
+	// Populate every page (unmeasured warmup: placements, slab maps).
+	for lo := 0; lo < pageCount; lo += window {
+		for p := lo; p < min(lo+window, pageCount); p++ {
+			page[0] = byte(p)
+			host.WritePageAsync(core.PageID(p), page)
+		}
+		flushGroup()
+	}
+
+	// Measured closed loop: window outstanding ops per round, 70/30
+	// read/write over the populated pages. Writes enqueue before reads —
+	// the eviction-writeback batch then the prefetch fan-out, as the paging
+	// layer issues them — which also packs same-kind doorbells tighter.
+	var hist metrics.Histogram
+	measured := int64(0)
+	start := clock
+	kinds := make([]bool, window) // true = write
+	targets := make([]core.PageID, window)
+	for measured < int64(ops) {
+		n := window
+		for i := 0; i < n; i++ {
+			kinds[i] = rng.Float64() < 0.3
+			targets[i] = core.PageID(rng.Int63n(pageCount))
+		}
+		for i := 0; i < n; i++ {
+			if kinds[i] {
+				page[0] = byte(targets[i])
+				host.WritePageAsync(targets[i], page)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !kinds[i] {
+				host.ReadPageAsync(targets[i], bufs[i])
+			}
+		}
+		lat := flushGroup()
+		for i := 0; i < n; i++ {
+			hist.Observe(lat)
+		}
+		measured += int64(n)
+	}
+	elapsed := clock.Sub(start)
+
+	row := ScalingRow{
+		Agents:    agents,
+		Depth:     depth,
+		Ops:       measured,
+		Elapsed:   elapsed,
+		P50:       hist.Percentile(50),
+		P99:       hist.Percentile(99),
+		Doorbells: loop.doorbell,
+	}
+	if elapsed > 0 {
+		row.OpsPerSec = float64(measured) / elapsed.Seconds()
+	}
+	if loop.doorbell > 0 {
+		row.PagesPerDB = float64(loop.pages) / float64(loop.doorbell)
+	}
+	return row
+}
+
+// Scaling runs the agents × depth sweep.
+func Scaling(s Scale, seed uint64) ScalingResult {
+	ops := int(s.Measured / 5)
+	var out ScalingResult
+	for _, agents := range scalingAgents {
+		for _, depth := range scalingDepths {
+			out.Rows = append(out.Rows, runScalingPoint(agents, depth, ops, seed))
+		}
+	}
+	return out
+}
+
+// Row fetches one grid point.
+func (r ScalingResult) Row(agents, depth int) (ScalingRow, bool) {
+	for _, row := range r.Rows {
+		if row.Agents == agents && row.Depth == depth {
+			return row, true
+		}
+	}
+	return ScalingRow{}, false
+}
+
+// DepthGain reports throughput at the deepest queue over depth 1 for the
+// given agent count.
+func (r ScalingResult) DepthGain(agents int) float64 {
+	shallow, ok1 := r.Row(agents, scalingDepths[0])
+	deep, ok2 := r.Row(agents, scalingDepths[len(scalingDepths)-1])
+	if !ok1 || !ok2 || shallow.OpsPerSec == 0 {
+		return 0
+	}
+	return deep.OpsPerSec / shallow.OpsPerSec
+}
+
+// String renders the figure.
+func (r ScalingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure S — scaling: sharded+batched+async remote-memory engine (closed loop, window = agents×depth)\n")
+	fmt.Fprintf(&b, "  %6s %6s %8s %12s %10s %10s %10s %9s\n",
+		"agents", "depth", "ops", "Kops/s", "p50", "p99", "doorbells", "pages/db")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %6d %6d %8d %12.1f %10v %10v %10d %9.2f\n",
+			row.Agents, row.Depth, row.Ops, row.OpsPerSec/1e3,
+			row.P50, row.P99, row.Doorbells, row.PagesPerDB)
+	}
+	fmt.Fprintf(&b, "  queue-depth amortization (throughput ×, depth %d vs 1):",
+		scalingDepths[len(scalingDepths)-1])
+	for _, agents := range scalingAgents {
+		fmt.Fprintf(&b, "  %d-agent %.2f×", agents, r.DepthGain(agents))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  (deterministic σ=0 latencies; doorbell batching amortizes the %v dispatch and the wire round trip — the 3PO drain-rate bound)\n",
+		2100*sim.Nanosecond)
+	return b.String()
+}

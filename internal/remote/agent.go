@@ -118,6 +118,58 @@ func (a *Agent) Handle(req *Request) *Response {
 		binary.LittleEndian.PutUint32(payload[4:8], uint32(a.maxSlabs))
 		return &Response{Status: StatusOK, Payload: payload}
 
+	case OpReadBatch:
+		refs, err := DecodeReadBatch(req)
+		if err != nil {
+			return &Response{Status: StatusBadFrame}
+		}
+		results := make([]BatchReadResult, len(refs))
+		for i, ref := range refs {
+			slab, ok := a.slabs[ref.Slab]
+			if !ok {
+				results[i].Status = StatusBadSlab
+				continue
+			}
+			off := int(ref.PageOff) * PageSize
+			if off+PageSize > len(slab) {
+				results[i].Status = StatusBadBound
+				continue
+			}
+			a.reads++
+			results[i] = BatchReadResult{Status: StatusOK, Page: slab[off : off+PageSize]}
+		}
+		resp, err := EncodeReadBatchResponse(results)
+		if err != nil {
+			return &Response{Status: StatusBadFrame}
+		}
+		return resp
+
+	case OpWriteBatch:
+		refs, pages, err := DecodeWriteBatch(req)
+		if err != nil {
+			return &Response{Status: StatusBadFrame}
+		}
+		statuses := make([]uint8, len(refs))
+		for i, ref := range refs {
+			slab, ok := a.slabs[ref.Slab]
+			if !ok {
+				statuses[i] = StatusBadSlab
+				continue
+			}
+			off := int(ref.PageOff) * PageSize
+			if off+PageSize > len(slab) {
+				statuses[i] = StatusBadBound
+				continue
+			}
+			a.writes++
+			copy(slab[off:off+PageSize], pages[i])
+		}
+		resp, err := EncodeWriteBatchResponse(statuses)
+		if err != nil {
+			return &Response{Status: StatusBadFrame}
+		}
+		return resp
+
 	default:
 		return &Response{Status: StatusBadOp}
 	}

@@ -1,0 +1,238 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file defines the doorbell-style batched frames of the wire protocol:
+// one OpReadBatch/OpWriteBatch request carries up to MaxBatchOps page
+// operations and one response carries all their results, so a queue of
+// pending pages costs one round trip (and one fabric doorbell) instead of
+// one per page. The framing packs entries into Request/Response.Payload, so
+// every transport — in-process, TCP, fault-injecting — carries batches
+// unchanged.
+//
+// Read batch request payload:   u32 count, then count × (u64 slab, u32 off).
+// Read batch response payload:  u32 count, then count × (u8 status,
+//                               PageSize bytes present only when status==OK).
+// Write batch request payload:  u32 count, then count × (u64 slab, u32 off,
+//                               PageSize bytes).
+// Write batch response payload: u32 count, then count × u8 status.
+
+// BatchRef names one page inside a batched frame.
+type BatchRef struct {
+	Slab    SlabID
+	PageOff uint32
+}
+
+// BatchReadResult is one page's outcome inside a read-batch response. Page
+// is nil unless Status is StatusOK; it aliases the response payload, so
+// callers copy before reusing the response.
+type BatchReadResult struct {
+	Status uint8
+	Page   []byte
+}
+
+// EncodeReadBatch packs refs into an OpReadBatch request.
+func EncodeReadBatch(refs []BatchRef) (*Request, error) {
+	if len(refs) == 0 || len(refs) > MaxBatchOps {
+		return nil, fmt.Errorf("remote: read batch of %d ops (want 1..%d)", len(refs), MaxBatchOps)
+	}
+	payload := make([]byte, 4+len(refs)*batchRefSize)
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(refs)))
+	off := 4
+	for _, r := range refs {
+		binary.LittleEndian.PutUint64(payload[off:], uint64(r.Slab))
+		binary.LittleEndian.PutUint32(payload[off+8:], r.PageOff)
+		off += batchRefSize
+	}
+	return &Request{Op: OpReadBatch, Payload: payload}, nil
+}
+
+// DecodeReadBatch unpacks an OpReadBatch request payload.
+func DecodeReadBatch(req *Request) ([]BatchRef, error) {
+	if req.Op != OpReadBatch {
+		return nil, fmt.Errorf("remote: DecodeReadBatch on op %d", req.Op)
+	}
+	n, err := batchCount(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Payload) != 4+n*batchRefSize {
+		return nil, fmt.Errorf("remote: read batch payload %dB for %d ops", len(req.Payload), n)
+	}
+	refs := make([]BatchRef, n)
+	off := 4
+	for i := range refs {
+		refs[i].Slab = SlabID(binary.LittleEndian.Uint64(req.Payload[off:]))
+		refs[i].PageOff = binary.LittleEndian.Uint32(req.Payload[off+8:])
+		off += batchRefSize
+	}
+	return refs, nil
+}
+
+// EncodeReadBatchResponse packs per-page results into an OpReadBatch
+// response. Each OK result must carry exactly PageSize bytes.
+func EncodeReadBatchResponse(results []BatchReadResult) (*Response, error) {
+	if len(results) == 0 || len(results) > MaxBatchOps {
+		return nil, fmt.Errorf("remote: read batch response of %d ops", len(results))
+	}
+	size := 4
+	for _, r := range results {
+		size++
+		if r.Status == StatusOK {
+			if len(r.Page) != PageSize {
+				return nil, fmt.Errorf("remote: OK read result with %dB page", len(r.Page))
+			}
+			size += PageSize
+		}
+	}
+	payload := make([]byte, size)
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(results)))
+	off := 4
+	for _, r := range results {
+		payload[off] = r.Status
+		off++
+		if r.Status == StatusOK {
+			copy(payload[off:], r.Page)
+			off += PageSize
+		}
+	}
+	return &Response{Status: StatusOK, Payload: payload}, nil
+}
+
+// DecodeReadBatchResponse unpacks an OpReadBatch response. Pages alias the
+// response payload.
+func DecodeReadBatchResponse(resp *Response) ([]BatchReadResult, error) {
+	if resp.Status != StatusOK {
+		return nil, statusError(OpReadBatch, resp.Status)
+	}
+	n, err := batchCount(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]BatchReadResult, n)
+	off := 4
+	for i := range results {
+		if off >= len(resp.Payload) {
+			return nil, fmt.Errorf("remote: read batch response truncated at op %d", i)
+		}
+		results[i].Status = resp.Payload[off]
+		off++
+		if results[i].Status == StatusOK {
+			if off+PageSize > len(resp.Payload) {
+				return nil, fmt.Errorf("remote: read batch response truncated at op %d page", i)
+			}
+			results[i].Page = resp.Payload[off : off+PageSize]
+			off += PageSize
+		}
+	}
+	if off != len(resp.Payload) {
+		return nil, fmt.Errorf("remote: read batch response has %d trailing bytes", len(resp.Payload)-off)
+	}
+	return results, nil
+}
+
+// EncodeWriteBatch packs refs and their page images into an OpWriteBatch
+// request. pages[i] must be exactly PageSize bytes.
+func EncodeWriteBatch(refs []BatchRef, pages [][]byte) (*Request, error) {
+	if len(refs) == 0 || len(refs) > MaxBatchOps {
+		return nil, fmt.Errorf("remote: write batch of %d ops (want 1..%d)", len(refs), MaxBatchOps)
+	}
+	if len(pages) != len(refs) {
+		return nil, fmt.Errorf("remote: write batch with %d refs but %d pages", len(refs), len(pages))
+	}
+	payload := make([]byte, 4+len(refs)*(batchRefSize+PageSize))
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(refs)))
+	off := 4
+	for i, r := range refs {
+		if len(pages[i]) != PageSize {
+			return nil, fmt.Errorf("remote: write batch page %d has %dB", i, len(pages[i]))
+		}
+		binary.LittleEndian.PutUint64(payload[off:], uint64(r.Slab))
+		binary.LittleEndian.PutUint32(payload[off+8:], r.PageOff)
+		copy(payload[off+batchRefSize:], pages[i])
+		off += batchRefSize + PageSize
+	}
+	return &Request{Op: OpWriteBatch, Payload: payload}, nil
+}
+
+// DecodeWriteBatch unpacks an OpWriteBatch request payload. Pages alias the
+// request payload.
+func DecodeWriteBatch(req *Request) ([]BatchRef, [][]byte, error) {
+	if req.Op != OpWriteBatch {
+		return nil, nil, fmt.Errorf("remote: DecodeWriteBatch on op %d", req.Op)
+	}
+	n, err := batchCount(req.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(req.Payload) != 4+n*(batchRefSize+PageSize) {
+		return nil, nil, fmt.Errorf("remote: write batch payload %dB for %d ops", len(req.Payload), n)
+	}
+	refs := make([]BatchRef, n)
+	pages := make([][]byte, n)
+	off := 4
+	for i := range refs {
+		refs[i].Slab = SlabID(binary.LittleEndian.Uint64(req.Payload[off:]))
+		refs[i].PageOff = binary.LittleEndian.Uint32(req.Payload[off+8:])
+		pages[i] = req.Payload[off+batchRefSize : off+batchRefSize+PageSize]
+		off += batchRefSize + PageSize
+	}
+	return refs, pages, nil
+}
+
+// EncodeWriteBatchResponse packs per-page statuses into an OpWriteBatch
+// response.
+func EncodeWriteBatchResponse(statuses []uint8) (*Response, error) {
+	if len(statuses) == 0 || len(statuses) > MaxBatchOps {
+		return nil, fmt.Errorf("remote: write batch response of %d ops", len(statuses))
+	}
+	payload := make([]byte, 4+len(statuses))
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(statuses)))
+	copy(payload[4:], statuses)
+	return &Response{Status: StatusOK, Payload: payload}, nil
+}
+
+// DecodeWriteBatchResponse unpacks an OpWriteBatch response.
+func DecodeWriteBatchResponse(resp *Response) ([]uint8, error) {
+	if resp.Status != StatusOK {
+		return nil, statusError(OpWriteBatch, resp.Status)
+	}
+	n, err := batchCount(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Payload) != 4+n {
+		return nil, fmt.Errorf("remote: write batch response payload %dB for %d ops", len(resp.Payload), n)
+	}
+	return append([]uint8(nil), resp.Payload[4:]...), nil
+}
+
+// batchCount validates and reads the leading op count of a batch payload.
+func batchCount(payload []byte) (int, error) {
+	if len(payload) < 4 {
+		return 0, fmt.Errorf("remote: batch payload too short (%dB)", len(payload))
+	}
+	n := binary.LittleEndian.Uint32(payload[0:4])
+	if n == 0 || n > MaxBatchOps {
+		return 0, fmt.Errorf("remote: batch of %d ops (want 1..%d)", n, MaxBatchOps)
+	}
+	return int(n), nil
+}
+
+// BatchPages reports the page-op count a request frame represents: the
+// batch entry count for batch frames, 1 for everything else. Observers use
+// it to charge fabric occupancy per page while paying round-trip latency
+// per doorbell.
+func BatchPages(req *Request) int {
+	if req.Op != OpReadBatch && req.Op != OpWriteBatch {
+		return 1
+	}
+	n, err := batchCount(req.Payload)
+	if err != nil {
+		return 1
+	}
+	return n
+}

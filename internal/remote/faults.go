@@ -34,6 +34,7 @@ type FaultMode struct {
 type CallObservation struct {
 	Agent    int
 	Op       uint8
+	Pages    int          // page ops the frame carries (>1 for batch frames)
 	Injected bool         // the call was failed by fault injection
 	Extra    sim.Duration // slow-agent latency to charge (0 when healthy)
 }
@@ -111,8 +112,8 @@ func (t *FaultTransport) Call(req *Request) (*Response, error) {
 		cause = "agent crashed"
 	case mode.Partitioned:
 		cause = "network partition"
-	case mode.WriteFailProb > 0 && req.Op == OpWrite && t.rng != nil &&
-		t.rng.Float64() < mode.WriteFailProb:
+	case mode.WriteFailProb > 0 && (req.Op == OpWrite || req.Op == OpWriteBatch) &&
+		t.rng != nil && t.rng.Float64() < mode.WriteFailProb:
 		cause = "transient write failure"
 	}
 	t.calls++
@@ -126,6 +127,7 @@ func (t *FaultTransport) Call(req *Request) (*Response, error) {
 		obs(CallObservation{
 			Agent:    t.agent,
 			Op:       req.Op,
+			Pages:    BatchPages(req),
 			Injected: cause != "",
 			Extra:    mode.ExtraLatency,
 		})

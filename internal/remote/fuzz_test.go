@@ -15,6 +15,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{protoMagic})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Batched frames: a read batch and a two-page write batch.
+	buf.Reset()
+	rb, _ := EncodeReadBatch([]BatchRef{{Slab: 1, PageOff: 0}, {Slab: 2, PageOff: 5}})
+	_ = EncodeRequest(&buf, rb)
+	f.Add(bytes.Clone(buf.Bytes()))
+	buf.Reset()
+	wb, _ := EncodeWriteBatch([]BatchRef{{Slab: 3, PageOff: 1}, {Slab: 3, PageOff: 2}},
+		[][]byte{make([]byte, PageSize), make([]byte, PageSize)})
+	_ = EncodeRequest(&buf, wb)
+	f.Add(bytes.Clone(buf.Bytes()))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(bytes.NewReader(data))
@@ -66,15 +76,20 @@ func FuzzDecodeResponse(f *testing.F) {
 
 // FuzzAgentHandle feeds arbitrary requests to an agent: every request must
 // produce a response without panicking, and the agent must stay within its
-// slab budget.
+// slab budget. Batch ops (arbitrary payloads posing as batch frames
+// included) go through the same entry point.
 func FuzzAgentHandle(f *testing.F) {
 	f.Add(uint8(OpMapSlab), uint64(1), uint32(0), []byte{})
 	f.Add(uint8(OpWrite), uint64(2), uint32(3), make([]byte, PageSize))
 	f.Add(uint8(99), uint64(0), uint32(0), []byte{1, 2, 3})
+	rb, _ := EncodeReadBatch([]BatchRef{{Slab: 1, PageOff: 0}})
+	f.Add(uint8(OpReadBatch), uint64(0), uint32(0), rb.Payload)
+	wb, _ := EncodeWriteBatch([]BatchRef{{Slab: 1, PageOff: 0}}, [][]byte{make([]byte, PageSize)})
+	f.Add(uint8(OpWriteBatch), uint64(0), uint32(0), wb.Payload)
 
 	f.Fuzz(func(t *testing.T, op uint8, slab uint64, off uint32, payload []byte) {
-		if len(payload) > PageSize {
-			payload = payload[:PageSize]
+		if len(payload) > maxWirePayload {
+			payload = payload[:maxWirePayload]
 		}
 		a := NewAgent(8, 4)
 		resp := a.Handle(&Request{Op: op, Slab: SlabID(slab), PageOff: off, Payload: payload})
@@ -85,4 +100,66 @@ func FuzzAgentHandle(f *testing.F) {
 			t.Fatalf("agent exceeded slab budget: %d", a.SlabCount())
 		}
 	})
+}
+
+// FuzzBatchFrames hammers the batch entry decoders with arbitrary payloads:
+// they must never panic; anything that decodes must re-encode and decode to
+// the same entries (round-trip closure).
+func FuzzBatchFrames(f *testing.F) {
+	rb, _ := EncodeReadBatch([]BatchRef{{Slab: 9, PageOff: 2}, {Slab: 9, PageOff: 3}})
+	f.Add(true, rb.Payload)
+	wb, _ := EncodeWriteBatch([]BatchRef{{Slab: 4, PageOff: 0}}, [][]byte{make([]byte, PageSize)})
+	f.Add(false, wb.Payload)
+	f.Add(true, []byte{})
+	f.Add(false, []byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, isRead bool, payload []byte) {
+		if len(payload) > maxWirePayload {
+			payload = payload[:maxWirePayload]
+		}
+		if isRead {
+			refs, err := DecodeReadBatch(&Request{Op: OpReadBatch, Payload: payload})
+			if err != nil {
+				return
+			}
+			again, err := EncodeReadBatch(refs)
+			if err != nil {
+				t.Fatalf("re-encode of decoded read batch failed: %v", err)
+			}
+			refs2, err := DecodeReadBatch(again)
+			if err != nil || !slicesEqualRefs(refs, refs2) {
+				t.Fatalf("read batch round trip diverged: %v vs %v (%v)", refs, refs2, err)
+			}
+			return
+		}
+		refs, pages, err := DecodeWriteBatch(&Request{Op: OpWriteBatch, Payload: payload})
+		if err != nil {
+			return
+		}
+		again, err := EncodeWriteBatch(refs, pages)
+		if err != nil {
+			t.Fatalf("re-encode of decoded write batch failed: %v", err)
+		}
+		refs2, pages2, err := DecodeWriteBatch(again)
+		if err != nil || !slicesEqualRefs(refs, refs2) {
+			t.Fatalf("write batch refs round trip diverged (%v)", err)
+		}
+		for i := range pages {
+			if !bytes.Equal(pages[i], pages2[i]) {
+				t.Fatalf("write batch page %d round trip diverged", i)
+			}
+		}
+	})
+}
+
+func slicesEqualRefs(a, b []BatchRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

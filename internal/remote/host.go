@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"leap/internal/core"
-	"leap/internal/sim"
 )
 
 // HostConfig parameterizes a Host.
@@ -16,9 +15,19 @@ type HostConfig struct {
 	// Replicas is the number of copies per slab (default 2, the paper's
 	// remote in-memory replication).
 	Replicas int
-	// Seed drives placement decisions deterministically.
+	// QueueDepth caps how many queued page operations the async engine
+	// packs into one doorbell-style batched frame per agent (default
+	// DefaultQueueDepth). Depth 1 degenerates to one wire frame per page,
+	// matching the synchronous path exactly.
+	QueueDepth int
+	// Seed salts the rendezvous placement hash, so distinct hosts sharing
+	// agents spread slabs independently.
 	Seed uint64
 }
+
+// DefaultQueueDepth is the default per-agent batch limit of the async
+// engine.
+const DefaultQueueDepth = 8
 
 func (c HostConfig) withDefaults() HostConfig {
 	if c.SlabPages <= 0 {
@@ -27,11 +36,19 @@ func (c HostConfig) withDefaults() HostConfig {
 	if c.Replicas <= 0 {
 		c.Replicas = 2
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.QueueDepth > MaxBatchOps {
+		c.QueueDepth = MaxBatchOps
+	}
 	return c
 }
 
 // HostStats counts host-side remote-memory activity.
 type HostStats struct {
+	// Reads and Writes count page operations (one per page, whether issued
+	// synchronously or through the async engine).
 	Reads, Writes int64
 	// Failovers counts reads served by a replica after the primary failed.
 	Failovers int64
@@ -39,16 +56,29 @@ type HostStats struct {
 	SlabsMapped int64
 	// Repairs counts slabs re-replicated after agent failures.
 	Repairs int64
+	// SlabsMoved counts slabs migrated by Rebalance.
+	SlabsMoved int64
+	// AsyncReads / AsyncWrites count operations issued through the ticket
+	// API; CoalescedReads counts async reads that piggybacked on an
+	// already-queued read of the same page, and DirtyReads counts reads
+	// served from a not-yet-flushed write's buffer (read-your-writes).
+	AsyncReads, AsyncWrites, CoalescedReads, DirtyReads int64
+	// BatchCalls counts wire frames carrying more than one page;
+	// BatchedPages is the total pages those frames carried.
+	BatchCalls, BatchedPages int64
 }
 
 // Host is the machine-local agent of §4.4: it maps the swap address space
-// onto remote slabs, placing each slab with power-of-two-choices across
-// agents and replicating it for fault tolerance. Safe for concurrent use.
+// onto remote slabs, placing each slab on its rendezvous-hashed agents and
+// replicating it for fault tolerance. Pages move either synchronously
+// (ReadPage/WritePage, one round trip per page) or through the async ticket
+// engine (ReadPageAsync/WritePageAsync/Flush), which coalesces duplicate
+// reads and drains per-agent queues with doorbell-style batched frames.
+// Safe for concurrent use.
 type Host struct {
 	cfg HostConfig
 
 	mu         sync.Mutex
-	rng        *sim.RNG
 	transports []Transport
 	slabLoad   []int            // slabs placed per agent
 	placements map[SlabID][]int // slab → agent indices, primary first
@@ -61,7 +91,15 @@ type Host struct {
 	// degraded tracks pages whose most recent write was acknowledged by
 	// fewer than Replicas agents; RepairSlabs re-pushes them.
 	degraded map[core.PageID]bool
-	stats    HostStats
+
+	// Async engine state: per-agent FIFO queues of pending operations plus
+	// the coalescing indexes (see queue.go).
+	queues       [][]queueEntry
+	readsPending map[core.PageID]*pendingRead
+	dirty        map[core.PageID]*pendingWrite
+	bufFree      [][]byte // recycled page buffers for pending writes
+
+	stats HostStats
 }
 
 // NewHost returns a host over the given agent transports. At least
@@ -75,13 +113,15 @@ func NewHost(cfg HostConfig, transports []Transport) (*Host, error) {
 		cfg.Replicas = len(transports)
 	}
 	return &Host{
-		cfg:        cfg,
-		rng:        sim.NewRNG(cfg.Seed),
-		transports: transports,
-		slabLoad:   make([]int, len(transports)),
-		placements: make(map[SlabID][]int),
-		acked:      make(map[core.PageID][]int),
-		degraded:   make(map[core.PageID]bool),
+		cfg:          cfg,
+		transports:   transports,
+		slabLoad:     make([]int, len(transports)),
+		placements:   make(map[SlabID][]int),
+		acked:        make(map[core.PageID][]int),
+		degraded:     make(map[core.PageID]bool),
+		queues:       make([][]queueEntry, len(transports)),
+		readsPending: make(map[core.PageID]*pendingRead),
+		dirty:        make(map[core.PageID]*pendingWrite),
 	}, nil
 }
 
@@ -107,54 +147,23 @@ func (h *Host) locate(page core.PageID) (SlabID, uint32) {
 		uint32(int64(page) % int64(h.cfg.SlabPages))
 }
 
-// pickTwoChoices returns the index of the less-loaded of two distinct
-// random agents not present in exclude.
-func (h *Host) pickTwoChoices(exclude map[int]bool) int {
-	n := len(h.transports)
-	candidates := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if !exclude[i] && !h.failed[i] {
-			candidates = append(candidates, i)
-		}
-	}
-	if len(candidates) == 0 {
-		return -1
-	}
-	if len(candidates) == 1 {
-		return candidates[0]
-	}
-	a := candidates[h.rng.Intn(len(candidates))]
-	b := candidates[h.rng.Intn(len(candidates))]
-	for b == a {
-		b = candidates[h.rng.Intn(len(candidates))]
-	}
-	if h.slabLoad[b] < h.slabLoad[a] {
-		return b
-	}
-	return a
-}
-
-// placement returns (mapping if needed) the replica set for slab. Callers
-// hold h.mu.
+// placement returns (mapping if needed) the replica set for slab: the
+// rendezvous-ranked live agents, walked in score order until Replicas of
+// them accept the slab (an agent at capacity or unreachable is skipped, so
+// placement degrades gracefully under pressure). Callers hold h.mu.
 func (h *Host) placement(slab SlabID) ([]int, error) {
 	if p, ok := h.placements[slab]; ok {
 		return p, nil
 	}
-	exclude := make(map[int]bool, h.cfg.Replicas)
 	replicas := make([]int, 0, h.cfg.Replicas)
-	for len(replicas) < h.cfg.Replicas {
-		idx := h.pickTwoChoices(exclude)
-		if idx < 0 {
+	for _, idx := range h.rendezvousRank(slab, nil) {
+		if len(replicas) == h.cfg.Replicas {
 			break
 		}
 		resp, err := h.transports[idx].Call(&Request{Op: OpMapSlab, Slab: slab})
 		if err == nil && resp.Status == StatusOK {
 			replicas = append(replicas, idx)
 			h.slabLoad[idx]++
-		}
-		exclude[idx] = true
-		if len(exclude) == len(h.transports) {
-			break
 		}
 	}
 	if len(replicas) == 0 {
@@ -174,6 +183,19 @@ func (h *Host) WritePage(page core.PageID, data []byte) error {
 	slab, off := h.locate(page)
 
 	h.mu.Lock()
+	if pw, ok := h.dirty[page]; ok {
+		// An unflushed async write to the same page is queued: supersede its
+		// bytes and flush it now, so the synchronous write cannot be
+		// clobbered by an older image when the doorbell finally rings.
+		copy(pw.data, data)
+		t := &Ticket{host: h}
+		pw.superseded = append(pw.superseded, pw.ticket)
+		pw.ticket = t
+		h.flushLocked()
+		err := t.err
+		h.mu.Unlock()
+		return err
+	}
 	replicas, err := h.placement(slab)
 	if err != nil {
 		h.mu.Unlock()
@@ -260,6 +282,15 @@ func (h *Host) ReadPage(page core.PageID, buf []byte) error {
 	slab, off := h.locate(page)
 
 	h.mu.Lock()
+	if pw, ok := h.dirty[page]; ok {
+		// Read-your-writes: a queued, unflushed write holds the freshest
+		// bytes for this page.
+		copy(buf, pw.data)
+		h.stats.DirtyReads++
+		h.stats.Reads++
+		h.mu.Unlock()
+		return nil
+	}
 	replicas, ok := h.placements[slab]
 	if !ok {
 		h.mu.Unlock()
@@ -308,8 +339,12 @@ func (h *Host) ReadPage(page core.PageID, buf []byte) error {
 	return fmt.Errorf("remote: read page %d failed on all replicas: %w", page, lastErr)
 }
 
-// Close closes all transports.
+// Close flushes any queued asynchronous operations (best effort) and closes
+// all transports.
 func (h *Host) Close() error {
+	h.mu.Lock()
+	h.flushLocked()
+	h.mu.Unlock()
 	var first error
 	for _, tr := range h.transports {
 		if err := tr.Close(); err != nil && first == nil {

@@ -38,6 +38,12 @@ const (
 	OpWrite    uint8 = 4 // write one page
 	OpPing     uint8 = 5 // liveness probe
 	OpStats    uint8 = 6 // slab count + capacity
+	// OpReadBatch reads up to MaxBatchOps pages in one frame — the
+	// doorbell-style batching of §4.4's multi-queue design: one round trip
+	// (and one fabric doorbell) amortized over the whole batch.
+	OpReadBatch uint8 = 7
+	// OpWriteBatch writes up to MaxBatchOps pages in one frame.
+	OpWriteBatch uint8 = 8
 )
 
 // Status codes of the wire protocol.
@@ -47,12 +53,21 @@ const (
 	StatusBadSlab  uint8 = 2
 	StatusBadOp    uint8 = 3
 	StatusBadBound uint8 = 4
+	// StatusBadFrame reports a malformed batch payload (bad count or
+	// truncated entries). Batch responses carry per-entry statuses; this
+	// status is for frames that cannot be parsed at all.
+	StatusBadFrame uint8 = 5
 )
+
+// MaxBatchOps caps the page operations one batched frame may carry, which
+// in turn bounds decoder allocation for hostile input.
+const MaxBatchOps = 256
 
 const protoMagic uint8 = 0x4C // 'L'
 
-// Request is one protocol request. Payload is only used by OpWrite and must
-// be exactly PageSize bytes there.
+// Request is one protocol request. Payload is used by OpWrite (exactly
+// PageSize bytes) and by the batch ops, whose payloads pack per-page
+// entries (see batch.go for the framing).
 type Request struct {
 	Op      uint8
 	Slab    SlabID
@@ -72,6 +87,14 @@ const reqHeaderSize = 1 + 1 + 8 + 4 + 4
 
 // respHeaderSize is magic+status+payloadlen.
 const respHeaderSize = 1 + 1 + 4
+
+// batchRefSize is one (slab, pageoff) reference inside a batch payload.
+const batchRefSize = 8 + 4
+
+// maxWirePayload bounds any frame payload: the largest legal frame is a
+// full write batch (count word plus MaxBatchOps refs-with-pages). Decoders
+// reject anything larger before allocating.
+const maxWirePayload = 4 + MaxBatchOps*(batchRefSize+PageSize)
 
 // EncodeRequest writes r to w in wire format.
 func EncodeRequest(w io.Writer, r *Request) error {
@@ -109,8 +132,11 @@ func DecodeRequest(r io.Reader) (*Request, error) {
 		PageOff: binary.LittleEndian.Uint32(hdr[10:14]),
 	}
 	n := binary.LittleEndian.Uint32(hdr[14:18])
-	if n > PageSize {
+	if n > maxWirePayload {
 		return nil, fmt.Errorf("remote: oversized payload %d", n)
+	}
+	if n > PageSize && req.Op != OpReadBatch && req.Op != OpWriteBatch {
+		return nil, fmt.Errorf("remote: oversized payload %d for op %d", n, req.Op)
 	}
 	if n > 0 {
 		req.Payload = make([]byte, n)
@@ -149,7 +175,7 @@ func DecodeResponse(r io.Reader) (*Response, error) {
 	}
 	resp := &Response{Status: hdr[1]}
 	n := binary.LittleEndian.Uint32(hdr[2:6])
-	if n > PageSize {
+	if n > maxWirePayload {
 		return nil, fmt.Errorf("remote: oversized payload %d", n)
 	}
 	if n > 0 {
@@ -176,6 +202,8 @@ func statusError(op uint8, status uint8) error {
 		what = "bad op"
 	case StatusBadBound:
 		what = "offset out of bounds"
+	case StatusBadFrame:
+		what = "malformed batch frame"
 	default:
 		what = fmt.Sprintf("status %d", status)
 	}

@@ -1,0 +1,490 @@
+package remote
+
+import (
+	"fmt"
+	"slices"
+
+	"leap/internal/core"
+)
+
+// The async engine: ReadPageAsync/WritePageAsync enqueue page operations
+// onto per-agent request queues and return tickets; Flush (or Ticket.Wait)
+// rings the doorbell, draining every queue with batched wire frames of up
+// to HostConfig.QueueDepth operations. The engine coalesces duplicate
+// in-flight reads (a second read of a queued page rides the same wire
+// request), serves reads of not-yet-flushed writes from the dirty buffer
+// (read-your-writes), and fails reads over across replicas exactly like the
+// synchronous path. Draining is deterministic: agents are visited in index
+// order, queues are FIFO, so a single-threaded caller replays
+// bit-identically.
+//
+// Durability semantics: a write is acknowledged — visible to AckedReplicas,
+// counted for replication invariants — only once Flush has pushed it and at
+// least one replica accepted. An unflushed write lost to a crash was never
+// acked, so the chaos harness's "no acked-write loss" invariant is
+// unaffected by in-flight batches.
+
+// Ticket is the completion handle of one asynchronous page operation. A
+// ticket completes during a Flush (or Wait); Err is meaningful only once
+// Done reports true.
+type Ticket struct {
+	host *Host
+	done bool
+	err  error
+}
+
+// Done reports whether the operation has completed.
+func (t *Ticket) Done() bool {
+	t.host.mu.Lock()
+	defer t.host.mu.Unlock()
+	return t.done
+}
+
+// Err returns the operation's outcome: nil for success, the failure
+// otherwise. It is meaningful only after the ticket completed.
+func (t *Ticket) Err() error {
+	t.host.mu.Lock()
+	defer t.host.mu.Unlock()
+	return t.err
+}
+
+// Wait flushes the engine until the ticket completes and returns its
+// outcome.
+func (t *Ticket) Wait() error {
+	t.host.mu.Lock()
+	defer t.host.mu.Unlock()
+	if !t.done {
+		t.host.flushLocked()
+	}
+	return t.err
+}
+
+// pendingRead is one queued page read, possibly serving several coalesced
+// tickets.
+type pendingRead struct {
+	page core.PageID
+	slab SlabID
+	off  uint32
+
+	bufs    [][]byte
+	tickets []*Ticket
+	tried   []int // agents already attempted (failover history)
+}
+
+// pendingWrite is one queued page write, fanned out to every replica of its
+// slab.
+type pendingWrite struct {
+	page core.PageID
+	slab SlabID
+	off  uint32
+
+	data     []byte // the host's own copy of the page image
+	replicas []int  // replica set at enqueue time
+	resolved int    // replica sub-operations completed (ok or failed)
+	acked    []int
+	lastErr  error
+	ticket   *Ticket
+	// superseded holds tickets of earlier writes to the same page that this
+	// write replaced before the flush; they complete with its outcome.
+	superseded []*Ticket
+}
+
+// queueEntry is one slot in a per-agent queue: exactly one of read/write is
+// set.
+type queueEntry struct {
+	read  *pendingRead
+	write *pendingWrite
+}
+
+// ReadPageAsync enqueues a read of page into buf (len PageSize) and returns
+// its ticket. The data lands in buf when the ticket completes. Reads of
+// pages with a queued, unflushed write complete immediately from the dirty
+// buffer; duplicate reads of an already-queued page coalesce onto one wire
+// request.
+func (h *Host) ReadPageAsync(page core.PageID, buf []byte) *Ticket {
+	t := &Ticket{host: h}
+	if len(buf) != PageSize {
+		return h.failTicket(t, fmt.Errorf("remote: ReadPageAsync with %d-byte buffer, want %d", len(buf), PageSize))
+	}
+	slab, off := h.locate(page)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stats.AsyncReads++
+	if pw, ok := h.dirty[page]; ok {
+		// Read-your-writes: the freshest bytes are the queued write's.
+		copy(buf, pw.data)
+		h.stats.DirtyReads++
+		h.stats.Reads++
+		t.done = true
+		return t
+	}
+	if pr, ok := h.readsPending[page]; ok {
+		pr.bufs = append(pr.bufs, buf)
+		pr.tickets = append(pr.tickets, t)
+		h.stats.CoalescedReads++
+		h.stats.Reads++
+		return t
+	}
+	replicas, ok := h.placements[slab]
+	if !ok {
+		t.done = true
+		t.err = fmt.Errorf("remote: read of never-written page %d", page)
+		return t
+	}
+	pr := &pendingRead{page: page, slab: slab, off: off, bufs: [][]byte{buf}, tickets: []*Ticket{t}}
+	target := h.readOrder(page, replicas, nil)
+	if target < 0 {
+		t.done = true
+		t.err = fmt.Errorf("remote: read page %d: no replica available", page)
+		return t
+	}
+	h.readsPending[page] = pr
+	h.queues[target] = append(h.queues[target], queueEntry{read: pr})
+	h.stats.Reads++
+	return t
+}
+
+// WritePageAsync enqueues a write of data (len PageSize) to page and
+// returns its ticket. The engine keeps its own copy of data, so the caller
+// may reuse the buffer immediately. A second write to the same page before
+// the flush supersedes the first (last writer wins — both tickets complete
+// with the final outcome). The write is durable — acknowledged, visible to
+// reads from other hosts' perspectives — only once flushed.
+func (h *Host) WritePageAsync(page core.PageID, data []byte) *Ticket {
+	t := &Ticket{host: h}
+	if len(data) != PageSize {
+		return h.failTicket(t, fmt.Errorf("remote: WritePageAsync with %d bytes, want %d", len(data), PageSize))
+	}
+	slab, off := h.locate(page)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stats.AsyncWrites++
+	if pw, ok := h.dirty[page]; ok {
+		// Supersede in place: the queued sub-operations will carry the new
+		// bytes (last writer wins); the earlier write's ticket completes
+		// with the same flush outcome.
+		copy(pw.data, data)
+		pw.superseded = append(pw.superseded, pw.ticket)
+		pw.ticket = t
+		return t
+	}
+	replicas, err := h.placement(slab)
+	if err != nil {
+		// h.mu is already held here; completing inline avoids failTicket's
+		// re-lock.
+		t.done = true
+		t.err = err
+		return t
+	}
+	pw := &pendingWrite{
+		page:     page,
+		slab:     slab,
+		off:      off,
+		data:     h.pageBuf(),
+		replicas: slices.Clone(replicas),
+		ticket:   t,
+	}
+	copy(pw.data, data)
+	h.dirty[page] = pw
+	for _, idx := range pw.replicas {
+		h.queues[idx] = append(h.queues[idx], queueEntry{write: pw})
+	}
+	h.stats.Writes++
+	return t
+}
+
+// Flush drains every queue: per-agent batches of up to QueueDepth
+// operations go out as doorbell frames (single-op frames when only one
+// operation is queued), read failures retry on the next replica, and every
+// ticket issued before the call completes. It returns the first write
+// ticket error observed, if any (read outcomes are per-ticket).
+func (h *Host) Flush() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.flushLocked()
+}
+
+// PendingWrites reports the queued, unflushed write count — the dirty
+// backlog an eviction pipeline bounds before ringing the doorbell.
+func (h *Host) PendingWrites() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.dirty)
+}
+
+// failTicket completes t immediately with err.
+func (h *Host) failTicket(t *Ticket, err error) *Ticket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t.done = true
+	t.err = err
+	return t
+}
+
+// pageBuf takes a PageSize buffer off the free list.
+func (h *Host) pageBuf() []byte {
+	if n := len(h.bufFree); n > 0 {
+		buf := h.bufFree[n-1]
+		h.bufFree = h.bufFree[:n-1]
+		return buf
+	}
+	return make([]byte, PageSize)
+}
+
+// readOrder returns the preferred replica for a page read: acked replicas
+// first (in placement order), then the rest, skipping already-tried agents.
+// -1 when every replica has been tried. Callers hold h.mu.
+func (h *Host) readOrder(page core.PageID, replicas []int, tried []int) int {
+	acked := h.acked[page]
+	for _, idx := range replicas {
+		if slices.Contains(acked, idx) && !slices.Contains(tried, idx) {
+			return idx
+		}
+	}
+	for _, idx := range replicas {
+		if !slices.Contains(tried, idx) {
+			return idx
+		}
+	}
+	return -1
+}
+
+// flushLocked drains the queues to completion. Callers hold h.mu. The lock
+// is held across transport calls — the engine's determinism (and the chaos
+// harness's virtual-time accounting) depends on single-file draining.
+func (h *Host) flushLocked() error {
+	var firstErr error
+	for {
+		active := false
+		for idx := range h.queues {
+			if len(h.queues[idx]) == 0 {
+				continue
+			}
+			active = true
+			if err := h.drainAgent(idx); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	return firstErr
+}
+
+// drainAgent issues one batch (a contiguous run of same-kind entries, up to
+// QueueDepth) from agent idx's queue. Callers hold h.mu.
+func (h *Host) drainAgent(idx int) error {
+	q := h.queues[idx]
+	n := 1
+	isRead := q[0].read != nil
+	for n < len(q) && n < h.cfg.QueueDepth && (q[n].read != nil) == isRead {
+		n++
+	}
+	batch := q[:n]
+	h.queues[idx] = q[n:]
+	if len(h.queues[idx]) == 0 {
+		h.queues[idx] = nil // release the backing array between doorbells
+	}
+	if isRead {
+		return h.issueReads(idx, batch)
+	}
+	return h.issueWrites(idx, batch)
+}
+
+// issueReads sends a read batch to agent idx and lands the results.
+// Callers hold h.mu.
+func (h *Host) issueReads(idx int, batch []queueEntry) error {
+	tr := h.transports[idx]
+	var resp *Response
+	var err error
+	if len(batch) == 1 {
+		pr := batch[0].read
+		resp, err = tr.Call(&Request{Op: OpRead, Slab: pr.slab, PageOff: pr.off})
+		if err == nil && resp.Status == StatusOK {
+			h.completeRead(batch[0].read, idx, resp.Payload)
+			return nil
+		}
+		st := uint8(StatusOK)
+		if err == nil {
+			st = resp.Status
+		}
+		h.retryRead(pr, idx, err, st)
+		return nil
+	}
+
+	refs := make([]BatchRef, len(batch))
+	for i, e := range batch {
+		refs[i] = BatchRef{Slab: e.read.slab, PageOff: e.read.off}
+	}
+	req, encErr := EncodeReadBatch(refs)
+	if encErr != nil {
+		return encErr
+	}
+	h.stats.BatchCalls++
+	h.stats.BatchedPages += int64(len(batch))
+	resp, err = tr.Call(req)
+	if err != nil {
+		for _, e := range batch {
+			h.retryRead(e.read, idx, err, StatusOK)
+		}
+		return nil
+	}
+	results, decErr := DecodeReadBatchResponse(resp)
+	if decErr != nil || len(results) != len(batch) {
+		if decErr == nil {
+			decErr = fmt.Errorf("remote: read batch response carried %d results for %d ops",
+				len(results), len(batch))
+		}
+		for _, e := range batch {
+			h.retryRead(e.read, idx, decErr, resp.Status)
+		}
+		return nil
+	}
+	for i, e := range batch {
+		if results[i].Status == StatusOK {
+			h.completeRead(e.read, idx, results[i].Page)
+		} else {
+			h.retryRead(e.read, idx, nil, results[i].Status)
+		}
+	}
+	return nil
+}
+
+// completeRead copies data into every coalesced buffer and completes the
+// tickets. Callers hold h.mu.
+func (h *Host) completeRead(pr *pendingRead, idx int, data []byte) {
+	for _, buf := range pr.bufs {
+		copy(buf, data)
+	}
+	if len(pr.tried) > 0 {
+		h.stats.Failovers++
+	}
+	delete(h.readsPending, pr.page)
+	for _, t := range pr.tickets {
+		t.done = true
+	}
+}
+
+// retryRead requeues a failed read on the next untried replica, or
+// completes its tickets with an error when none remains. Callers hold h.mu.
+func (h *Host) retryRead(pr *pendingRead, idx int, err error, status uint8) {
+	pr.tried = append(pr.tried, idx)
+	lastErr := err
+	if lastErr == nil && status != StatusOK {
+		lastErr = statusError(OpRead, status)
+	}
+	replicas := h.placements[pr.slab]
+	next := h.readOrder(pr.page, replicas, pr.tried)
+	if next >= 0 {
+		h.queues[next] = append(h.queues[next], queueEntry{read: pr})
+		return
+	}
+	delete(h.readsPending, pr.page)
+	ferr := fmt.Errorf("remote: read page %d failed on all replicas: %w", pr.page, lastErr)
+	for _, t := range pr.tickets {
+		t.done = true
+		t.err = ferr
+	}
+}
+
+// issueWrites sends a write batch to agent idx and resolves the per-replica
+// sub-operations. Callers hold h.mu.
+func (h *Host) issueWrites(idx int, batch []queueEntry) error {
+	tr := h.transports[idx]
+	var firstErr error
+	resolve := func(pw *pendingWrite, ok bool, err error) {
+		pw.resolved++
+		if ok {
+			pw.acked = append(pw.acked, idx)
+		} else if err != nil {
+			pw.lastErr = err
+		}
+		if pw.resolved == len(pw.replicas) {
+			if ferr := h.finishWrite(pw); ferr != nil && firstErr == nil {
+				firstErr = ferr
+			}
+		}
+	}
+
+	if len(batch) == 1 {
+		pw := batch[0].write
+		resp, err := tr.Call(&Request{Op: OpWrite, Slab: pw.slab, PageOff: pw.off, Payload: pw.data})
+		switch {
+		case err != nil:
+			resolve(pw, false, err)
+		case resp.Status != StatusOK:
+			resolve(pw, false, statusError(OpWrite, resp.Status))
+		default:
+			resolve(pw, true, nil)
+		}
+		return firstErr
+	}
+
+	refs := make([]BatchRef, len(batch))
+	pages := make([][]byte, len(batch))
+	for i, e := range batch {
+		refs[i] = BatchRef{Slab: e.write.slab, PageOff: e.write.off}
+		pages[i] = e.write.data
+	}
+	req, encErr := EncodeWriteBatch(refs, pages)
+	if encErr != nil {
+		return encErr
+	}
+	h.stats.BatchCalls++
+	h.stats.BatchedPages += int64(len(batch))
+	resp, err := tr.Call(req)
+	if err != nil {
+		for _, e := range batch {
+			resolve(e.write, false, err)
+		}
+		return firstErr
+	}
+	statuses, decErr := DecodeWriteBatchResponse(resp)
+	if decErr != nil || len(statuses) != len(batch) {
+		if decErr == nil {
+			decErr = statusError(OpWriteBatch, resp.Status)
+		}
+		for _, e := range batch {
+			resolve(e.write, false, decErr)
+		}
+		return firstErr
+	}
+	for i, e := range batch {
+		if statuses[i] == StatusOK {
+			resolve(e.write, true, nil)
+		} else {
+			resolve(e.write, false, statusError(OpWrite, statuses[i]))
+		}
+	}
+	return firstErr
+}
+
+// finishWrite finalizes a fully-resolved pending write: ack bookkeeping
+// mirrors the synchronous WritePage exactly. Callers hold h.mu. It returns
+// the write's error, if the write failed on every replica.
+func (h *Host) finishWrite(pw *pendingWrite) error {
+	delete(h.dirty, pw.page)
+	var err error
+	if len(pw.acked) == 0 {
+		err = fmt.Errorf("remote: write page %d failed on all replicas: %w", pw.page, pw.lastErr)
+	} else {
+		h.acked[pw.page] = pw.acked
+		if len(pw.acked) < h.cfg.Replicas {
+			h.degraded[pw.page] = true
+		} else {
+			delete(h.degraded, pw.page)
+		}
+	}
+	h.bufFree = append(h.bufFree, pw.data)
+	pw.data = nil
+	pw.ticket.done = true
+	pw.ticket.err = err
+	for _, t := range pw.superseded {
+		t.done = true
+		t.err = err
+	}
+	return err
+}

@@ -160,37 +160,59 @@ func (h *Host) RepairSlabs() (int, error) {
 // returns the agent index chosen.
 func (h *Host) repairOne(slab SlabID, survivors []int) (int, error) {
 	h.mu.Lock()
-	// Choose a healthy agent not already holding the slab.
-	exclude := make(map[int]bool, len(survivors)+len(h.failed))
+	// Choose the best-ranked healthy agent not already holding the slab —
+	// the same rendezvous ordering placement uses, so a later Rebalance has
+	// nothing left to move whenever the top-ranked agents are alive.
+	exclude := make(map[int]bool, len(survivors))
 	for _, idx := range survivors {
 		exclude[idx] = true
 	}
-	for idx := range h.failed {
-		exclude[idx] = true
-	}
-	target := h.pickTwoChoices(exclude)
-	if target < 0 {
+	ranked := h.rendezvousRank(slab, exclude)
+	if len(ranked) == 0 {
 		h.mu.Unlock()
 		return -1, fmt.Errorf("remote: no healthy agent available to repair slab %d", slab)
 	}
+	target := ranked[0]
+	h.mu.Unlock()
+
+	if err := h.copySlabTo(slab, survivors, target); err != nil {
+		return -1, err
+	}
+
+	h.mu.Lock()
+	// Install the new replica set: survivors plus the repaired copy.
+	newSet := append(slices.Clone(survivors), target)
+	h.placements[slab] = newSet
+	h.slabLoad[target]++
+	h.stats.Repairs++
+	h.mu.Unlock()
+	return target, nil
+}
+
+// copySlabTo maps slab on the target agent and copies every page from the
+// given source replicas, page by page — the re-replication machinery shared
+// by RepairSlabs and Rebalance. For each page it prefers a source that
+// acknowledged the page's most recent write (a replica that missed a write
+// holds stale bytes); unwritten pages copy as zeros, which is exactly their
+// state on the source. A copy certified fresh extends the page's ack set to
+// the target; a copy from a stale source does not, so reads never prefer
+// possibly-stale bytes.
+func (h *Host) copySlabTo(slab SlabID, sources []int, target int) error {
+	h.mu.Lock()
 	dst := h.transports[target]
 	h.mu.Unlock()
 
 	if resp, err := dst.Call(&Request{Op: OpMapSlab, Slab: slab}); err != nil {
-		return -1, fmt.Errorf("remote: repair map slab %d: %w", slab, err)
+		return fmt.Errorf("remote: repair map slab %d: %w", slab, err)
 	} else if resp.Status != StatusOK {
-		return -1, statusError(OpMapSlab, resp.Status)
+		return statusError(OpMapSlab, resp.Status)
 	}
-	// Copy every page from a surviving replica, preferring one that
-	// acknowledged the page's most recent write (a survivor that missed a
-	// write holds stale bytes). Unwritten pages copy as zeros, which is
-	// exactly their state on the source.
 	for off := uint32(0); off < uint32(h.cfg.SlabPages); off++ {
 		page := core.PageID(int64(slab)*int64(h.cfg.SlabPages) + int64(off))
 		h.mu.Lock()
-		srcIdx := survivors[0]
+		srcIdx := sources[0]
 		srcAcked := false
-		for _, s := range survivors {
+		for _, s := range sources {
 			if slices.Contains(h.acked[page], s) {
 				srcIdx = s
 				srcAcked = true
@@ -202,21 +224,18 @@ func (h *Host) repairOne(slab SlabID, survivors []int) (int, error) {
 
 		rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
 		if err != nil {
-			return -1, fmt.Errorf("remote: repair read slab %d off %d: %w", slab, off, err)
+			return fmt.Errorf("remote: repair read slab %d off %d: %w", slab, off, err)
 		}
 		if rd.Status != StatusOK {
-			return -1, statusError(OpRead, rd.Status)
+			return statusError(OpRead, rd.Status)
 		}
 		wr, err := dst.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: rd.Payload})
 		if err != nil {
-			return -1, fmt.Errorf("remote: repair write slab %d off %d: %w", slab, off, err)
+			return fmt.Errorf("remote: repair write slab %d off %d: %w", slab, off, err)
 		}
 		if wr.Status != StatusOK {
-			return -1, statusError(OpWrite, wr.Status)
+			return statusError(OpWrite, wr.Status)
 		}
-		// The repaired copy is only known-fresh when its source was: copying
-		// from a stale survivor must not extend the acked set, or reads
-		// would prefer the stale bytes.
 		if srcAcked {
 			h.mu.Lock()
 			if acked, ok := h.acked[page]; ok && !slices.Contains(acked, target) {
@@ -225,15 +244,7 @@ func (h *Host) repairOne(slab SlabID, survivors []int) (int, error) {
 			h.mu.Unlock()
 		}
 	}
-
-	h.mu.Lock()
-	// Install the new replica set: survivors plus the repaired copy.
-	newSet := append(slices.Clone(survivors), target)
-	h.placements[slab] = newSet
-	h.slabLoad[target]++
-	h.stats.Repairs++
-	h.mu.Unlock()
-	return target, nil
+	return nil
 }
 
 // repushDegraded walks the pages whose latest write is under-acknowledged

@@ -22,6 +22,15 @@ type Backed struct {
 	inner Device
 	store *remote.Host
 
+	// WritebackBacklog, when positive, switches page-out to the store's
+	// async ticket engine: writes queue as dirty pages and the doorbell
+	// rings (Host.Flush) only when the backlog reaches this bound — the
+	// bounded asynchronous eviction-writeback pipeline. Reads of still-dirty
+	// pages are served from the queued buffer (read-your-writes), so
+	// verification stays exact. Zero keeps the synchronous write-through
+	// path.
+	WritebackBacklog int
+
 	// Verified counts reads whose contents checked out; ColdReads counts
 	// reads of pages never written (initial faults have no remote image;
 	// a fresh slab also zero-fills its other pages).
@@ -33,6 +42,7 @@ type Backed struct {
 	written  map[core.PageID]bool
 	writeBuf []byte
 	readBuf  []byte
+	bufPool  [][]byte
 }
 
 // NewBacked wraps inner with the real store.
@@ -82,16 +92,126 @@ func (d *Backed) Read(cpu int, now sim.Time, page core.PageID, distance int64) s
 // Write implements Device.
 func (d *Backed) Write(cpu int, now sim.Time, page core.PageID, distance int64) sim.Time {
 	done := d.inner.Write(cpu, now, page, distance)
+	d.storeWrite(page)
+	return done
+}
+
+// storeWrite pushes page's deterministic image into the real store,
+// synchronously or through the bounded async pipeline.
+func (d *Backed) storeWrite(page core.PageID) {
 	for _, i := range []int{0, 1, 255, 4095} {
 		d.writeBuf[i] = pageByte(page, i)
 	}
-	if err := d.store.WritePage(page, d.writeBuf); err != nil {
+	if d.WritebackBacklog > 0 {
+		// Async pipeline: the store copies the buffer, so writeBuf is
+		// immediately reusable. The ticket's outcome is checked when the
+		// bounded backlog forces the doorbell.
+		d.store.WritePageAsync(page, d.writeBuf)
+		if d.store.PendingWrites() >= d.WritebackBacklog {
+			d.flushWriteback()
+		}
+	} else if err := d.store.WritePage(page, d.writeBuf); err != nil {
 		// Surface store failures loudly: the simulation's correctness story
 		// depends on them not happening.
 		panic(fmt.Sprintf("storage: backed write of page %d failed: %v", page, err))
 	}
 	d.written[page] = true
+}
+
+// flushWriteback rings the store doorbell and surfaces any write failure.
+func (d *Backed) flushWriteback() {
+	if err := d.store.Flush(); err != nil {
+		panic(fmt.Sprintf("storage: backed writeback flush failed: %v", err))
+	}
+}
+
+// ReadBatch implements BatchDevice: latency comes from the inner device's
+// doorbell (or per-op model when the inner device cannot batch); the data
+// is fetched through the store's async ticket engine — coalesced, batched
+// wire frames — and verified per page.
+func (d *Backed) ReadBatch(cpu int, now sim.Time, pages []core.PageID, dists []int64, done []sim.Time) []sim.Time {
+	if bd, ok := d.inner.(BatchDevice); ok {
+		done = bd.ReadBatch(cpu, now, pages, dists, done)
+	} else {
+		if cap(done) < len(pages) {
+			done = make([]sim.Time, len(pages))
+		}
+		done = done[:len(pages)]
+		for i, page := range pages {
+			done[i] = d.inner.Read(cpu, now, page, dists[i])
+		}
+	}
+	tickets := make([]*remote.Ticket, len(pages))
+	for i, page := range pages {
+		if !d.written[page] {
+			d.ColdReads.Add(1)
+			continue
+		}
+		tickets[i] = d.store.ReadPageAsync(page, d.pageBuf(i))
+	}
+	if err := d.store.Flush(); err != nil {
+		// Read tickets carry their own outcome; a flush error here is a
+		// failed write left over in the queue.
+		panic(fmt.Sprintf("storage: backed batch flush failed: %v", err))
+	}
+	for i, page := range pages {
+		if tickets[i] == nil {
+			continue
+		}
+		buf := d.bufPool[i]
+		if tickets[i].Err() != nil {
+			d.Corrupt.Add(1)
+			continue
+		}
+		ok := true
+		for _, j := range []int{0, 1, 255, 4095} {
+			if buf[j] != pageByte(page, j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			d.Verified.Add(1)
+		} else {
+			d.Corrupt.Add(1)
+		}
+	}
 	return done
+}
+
+// WriteBatch implements BatchDevice.
+func (d *Backed) WriteBatch(cpu int, now sim.Time, pages []core.PageID, dists []int64, done []sim.Time) []sim.Time {
+	if bd, ok := d.inner.(BatchDevice); ok {
+		done = bd.WriteBatch(cpu, now, pages, dists, done)
+	} else {
+		if cap(done) < len(pages) {
+			done = make([]sim.Time, len(pages))
+		}
+		done = done[:len(pages)]
+		for i, page := range pages {
+			done[i] = d.inner.Write(cpu, now, page, dists[i])
+		}
+	}
+	for _, page := range pages {
+		d.storeWrite(page)
+	}
+	return done
+}
+
+// pageBuf returns the i-th scratch page buffer, growing the pool on demand.
+func (d *Backed) pageBuf(i int) []byte {
+	for len(d.bufPool) <= i {
+		d.bufPool = append(d.bufPool, make([]byte, remote.PageSize))
+	}
+	return d.bufPool[i]
+}
+
+// FlushWriteback drains any queued async writebacks — call at the end of a
+// run so the store holds every page image before final verification.
+func (d *Backed) FlushWriteback() {
+	if d.WritebackBacklog > 0 {
+		d.flushWriteback()
+	}
 }
 
 // MeanReadLatency implements Device.

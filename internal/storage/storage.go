@@ -18,6 +18,24 @@ import (
 	"leap/internal/sim"
 )
 
+// BatchDevice is the optional batched extension of Device: devices that
+// support doorbell-style submission (remote memory's multi-queue fabric)
+// implement it, and the paging layer fans prefetches and eviction
+// writebacks out through it when a queue depth > 1 is configured. A batch
+// of 1 must behave exactly like the single-op call (same latency samples,
+// same accounting), so depth-1 configurations replay bit-identically
+// against the unbatched path.
+type BatchDevice interface {
+	Device
+	// ReadBatch starts reads of pages as one doorbell on core's queue at
+	// time now and returns per-page completion times (filled into done,
+	// allocated when nil or short). dists mirrors Read's distance argument,
+	// one entry per page.
+	ReadBatch(core int, now sim.Time, pages []core.PageID, dists []int64, done []sim.Time) []sim.Time
+	// WriteBatch behaves like ReadBatch for page-out traffic.
+	WriteBatch(core int, now sim.Time, pages []core.PageID, dists []int64, done []sim.Time) []sim.Time
+}
+
 // Device is a backing store for 4KB pages. Implementations are not safe for
 // concurrent use.
 type Device interface {
@@ -203,6 +221,24 @@ func (d *Remote) Read(cpu int, now sim.Time, _ core.PageID, _ int64) sim.Time {
 func (d *Remote) Write(cpu int, now sim.Time, _ core.PageID, _ int64) sim.Time {
 	d.Writes++
 	return d.fabric.Submit(cpu, now)
+}
+
+// ReadBatch implements BatchDevice: the pages go out as one fabric
+// doorbell, paying the round-trip latency once and streaming back at the
+// service rate (rdma.Fabric.SubmitBatch). A batch of 1 is exactly Read.
+func (d *Remote) ReadBatch(cpu int, now sim.Time, pages []core.PageID, dists []int64, done []sim.Time) []sim.Time {
+	d.Reads += int64(len(pages))
+	done = d.fabric.SubmitBatch(cpu, len(pages), now, done)
+	for _, t := range done {
+		d.ReadLatency.Observe(t.Sub(now))
+	}
+	return done
+}
+
+// WriteBatch implements BatchDevice.
+func (d *Remote) WriteBatch(cpu int, now sim.Time, pages []core.PageID, dists []int64, done []sim.Time) []sim.Time {
+	d.Writes += int64(len(pages))
+	return d.fabric.SubmitBatch(cpu, len(pages), now, done)
 }
 
 // MeanReadLatency implements Device.

@@ -63,6 +63,13 @@ type Config struct {
 	// Device is the backing store; nil defaults to remote memory over a
 	// fresh default fabric.
 	Device storage.Device
+	// RemoteQueueDepth, when > 1, fans prefetch candidates out in
+	// doorbell-style batches of up to this many pages and batches eviction
+	// writebacks behind a dirty backlog of the same bound — provided the
+	// device supports batched submission (storage.BatchDevice; remote
+	// memory does). At 1 (or on non-batching devices) every page is
+	// submitted individually, byte-identical to the unbatched engine.
+	RemoteQueueDepth int
 	// CaptureFaults records each process's fault addresses (virtual pages)
 	// for pattern analysis (the Figure 3 classifier input).
 	CaptureFaults bool
@@ -174,6 +181,17 @@ type Machine struct {
 	inflight  *pagemap.Map[sim.Time]
 	inflights *eventq.Heap[arrival]
 
+	// Batched submission (RemoteQueueDepth > 1 on a BatchDevice): prefetch
+	// fan-out goes through batchDev in chunks of qdepth, and evicted pages
+	// accumulate in the writeback backlog until it reaches qdepth.
+	batchDev   storage.BatchDevice
+	qdepth     int
+	batchPages []core.PageID
+	batchDists []int64
+	batchDone  []sim.Time
+	wbPages    []core.PageID
+	wbDists    []int64
+
 	// resFree is a free list of resEntry nodes (linked through next), so the
 	// map-in/evict churn of the fault path stops allocating.
 	resFree *resEntry
@@ -231,6 +249,12 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 		inflight:  pagemap.New[sim.Time](0),
 		inflights: eventq.New(arrivalLess),
 		recording: true,
+	}
+	if cfg.RemoteQueueDepth > 1 {
+		if bd, ok := dev.(storage.BatchDevice); ok {
+			m.batchDev = bd
+			m.qdepth = cfg.RemoteQueueDepth
+		}
 	}
 	m.cResidentHits = m.Counters.Handle("resident_hits")
 	m.cFaults = m.Counters.Handle("faults")
@@ -464,8 +488,18 @@ func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
 		p.resident.Delete(victim.page)
 		// Write-back to the backing store (asynchronous: occupies the
 		// device/fabric but nobody waits). Swap-out is slot-clustered, so
-		// it neither pays nor causes read-head seeks.
-		m.dev.Write(int(p.app.PID), now, victim.page, 1)
+		// it neither pays nor causes read-head seeks. On a batching device
+		// the victim joins the bounded dirty backlog instead of paying a
+		// submission per page.
+		if m.batchDev != nil {
+			m.wbPages = append(m.wbPages, victim.page)
+			m.wbDists = append(m.wbDists, 1)
+			if len(m.wbPages) >= m.qdepth {
+				m.flushWriteback(int(p.app.PID), now)
+			}
+		} else {
+			m.dev.Write(int(p.app.PID), now, victim.page, 1)
+		}
 		m.freeResEntry(victim)
 		if m.recording {
 			*m.cSwapouts++
@@ -480,6 +514,10 @@ func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
 // per-page block-layer overhead is charged on either path; each page pays
 // only dispatch + device time.
 func (m *Machine) issuePrefetches(p *proc, cands []core.PageID, now sim.Time) {
+	if m.batchDev != nil {
+		m.issuePrefetchBatches(p, cands, now)
+		return
+	}
 	for _, c := range cands {
 		if p.resident.Contains(c) {
 			continue
@@ -497,6 +535,36 @@ func (m *Machine) issuePrefetches(p *proc, cands []core.PageID, now sim.Time) {
 		m.inflights.Push(arrival{page: c, at: done, proc: p})
 		if m.recording {
 			*m.cPrefetchIssued++
+		}
+	}
+}
+
+// issuePrefetchBatches is the doorbell path: the deduplicated candidates go
+// to the device in chunks of up to qdepth pages, so a prefetch window costs
+// one submission (and one fabric round-trip draw) per chunk instead of one
+// per page — the fan-out overlap the async remote engine exists for.
+func (m *Machine) issuePrefetchBatches(p *proc, cands []core.PageID, now sim.Time) {
+	m.batchPages = m.batchPages[:0]
+	m.batchDists = m.batchDists[:0]
+	for _, c := range cands {
+		if p.resident.Contains(c) || m.cache.Contains(c) || m.inflight.Contains(c) {
+			continue
+		}
+		m.batchPages = append(m.batchPages, c)
+		m.batchDists = append(m.batchDists, int64(c-m.lastDevPage))
+		m.lastDevPage = c
+	}
+	for lo := 0; lo < len(m.batchPages); lo += m.qdepth {
+		hi := min(lo+m.qdepth, len(m.batchPages))
+		m.batchDone = m.batchDev.ReadBatch(int(p.app.PID), now,
+			m.batchPages[lo:hi], m.batchDists[lo:hi], m.batchDone)
+		for i, c := range m.batchPages[lo:hi] {
+			done := m.batchDone[i]
+			m.inflight.Put(c, done)
+			m.inflights.Push(arrival{page: c, at: done, proc: p})
+			if m.recording {
+				*m.cPrefetchIssued++
+			}
 		}
 	}
 }
@@ -593,6 +661,16 @@ func (m *Machine) step(p *proc) sim.Duration {
 	return latency
 }
 
+// flushWriteback drains the eviction backlog as one doorbell.
+func (m *Machine) flushWriteback(cpu int, now sim.Time) {
+	if len(m.wbPages) == 0 {
+		return
+	}
+	m.batchDone = m.batchDev.WriteBatch(cpu, now, m.wbPages, m.wbDists, m.batchDone)
+	m.wbPages = m.wbPages[:0]
+	m.wbDists = m.wbDists[:0]
+}
+
 // Run advances the machine until every process has performed accesses
 // accesses (beyond whatever it has already done). Processes interleave by
 // local virtual time: each iteration steps the runnable proc with the
@@ -618,5 +696,10 @@ func (m *Machine) Run(accesses int64) {
 		} else {
 			m.sched.Fix(0)
 		}
+	}
+	// Drain any partially-filled writeback backlog so device accounting
+	// (and a Backed store's final image) covers every evicted page.
+	if m.batchDev != nil {
+		m.flushWriteback(0, m.MaxTime())
 	}
 }

@@ -20,8 +20,9 @@
 //
 //   - The remote-memory substrate: NewRemoteAgent/NewRemoteHost implement
 //     the slab-granular remote memory service of the paper's §4.4–4.5
-//     (power-of-two-choices placement, two-way replication) with in-process
-//     and TCP transports, moving real bytes.
+//     (rendezvous-hashed slab placement, two-way replication, an async
+//     ticket engine with doorbell-batched wire frames) with in-process and
+//     TCP transports, moving real bytes.
 //
 // Everything is deterministic given a seed; nothing sleeps. See DESIGN.md
 // for the system inventory and EXPERIMENTS.md for the paper-vs-measured
@@ -121,6 +122,11 @@ type SimConfig struct {
 	Prefetcher Prefetcher
 	// CacheCapacityPages bounds the prefetch cache (0 = cgroup-coupled).
 	CacheCapacityPages int
+	// RemoteQueueDepth, when > 1, batches prefetch fan-out and eviction
+	// writeback into doorbell submissions of up to this many pages on
+	// batching-capable devices (remote memory). 0 or 1 submits page by
+	// page, byte-identical to the unbatched engine.
+	RemoteQueueDepth int
 	// WarmupAccesses and MeasuredAccesses size the run per process.
 	WarmupAccesses, MeasuredAccesses int64
 	// Seed drives every stochastic model; equal seeds replay exactly.
@@ -189,6 +195,7 @@ func systemConfig(cfg SimConfig) vmm.Config {
 		out.Prefetcher = cfg.Prefetcher
 	}
 	out.CacheCapacity = cfg.CacheCapacityPages
+	out.RemoteQueueDepth = cfg.RemoteQueueDepth
 	return out
 }
 
@@ -225,12 +232,22 @@ func NewRemoteAgent(slabPages, maxSlabs int) *RemoteAgent {
 	return remote.NewAgent(slabPages, maxSlabs)
 }
 
-// RemoteHost maps pages onto remote agents with power-of-two-choices
-// placement and replication (the borrower side).
+// RemoteHost maps pages onto remote agents with rendezvous-hashed slab
+// placement and replication (the borrower side). Besides the synchronous
+// ReadPage/WritePage, it exposes the asynchronous ticket engine —
+// ReadPageAsync/WritePageAsync/Flush — which coalesces duplicate reads and
+// drains per-agent queues with doorbell-style batched wire frames; AddAgent
+// and Rebalance grow the pool, migrating only each newcomer's rendezvous
+// share of slabs.
 type RemoteHost = remote.Host
 
-// RemoteHostConfig parameterizes a RemoteHost.
+// RemoteHostConfig parameterizes a RemoteHost (slab size, replication
+// factor, async queue depth, placement seed).
 type RemoteHostConfig = remote.HostConfig
+
+// RemoteTicket is the completion handle of one asynchronous remote-memory
+// page operation; it completes when the host flushes its queues.
+type RemoteTicket = remote.Ticket
 
 // RemoteTransport carries host→agent requests.
 type RemoteTransport = remote.Transport

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+    check_links.py README.md DESIGN.md ...
+
+For every [text](target) and bare <target>:
+  - http(s)/mailto links are recorded but not fetched (CI is offline);
+  - relative links must resolve to an existing file or directory;
+  - #anchors (own-file or cross-file) must match a heading slug in the
+    target document, using GitHub's slugification rules (lowercase,
+    punctuation stripped, spaces to dashes, -N suffix for duplicates).
+
+Exit status: 0 clean, 1 broken links, 2 usage error.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading, seen):
+    """GitHub-style anchor slug."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)          # inline markup
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links → text
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        slug = f"{slug}-{seen[slug]}"
+    else:
+        seen[slug] = 0
+    return slug
+
+
+def anchors_of(path):
+    seen = {}
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(slugify(m.group(1), seen))
+    return anchors
+
+
+def links_of(path):
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group(1)))
+    return links
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = argv[1:]
+    broken = []
+    external = 0
+    checked = 0
+    for md in files:
+        if not os.path.exists(md):
+            broken.append(f"{md}: file listed for checking does not exist")
+            continue
+        base = os.path.dirname(md)
+        for lineno, target in links_of(md):
+            checked += 1
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            if target.startswith("#"):
+                if target[1:] not in anchors_of(md):
+                    broken.append(f"{md}:{lineno}: broken anchor {target}")
+                continue
+            path, _, frag = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}:{lineno}: broken link {target} ({resolved} missing)")
+                continue
+            if frag:
+                if not resolved.endswith(".md"):
+                    broken.append(f"{md}:{lineno}: anchor on non-markdown target {target}")
+                elif frag not in anchors_of(resolved):
+                    broken.append(f"{md}:{lineno}: broken anchor {target}")
+    for b in broken:
+        print(b, file=sys.stderr)
+    print(f"check_links: {checked} links in {len(files)} files "
+          f"({external} external skipped), {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
