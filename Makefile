@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check smoke runtime-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -35,6 +35,15 @@ bench-check:
 # Quick end-to-end check: one figure at test scale.
 smoke:
 	$(GO) run ./cmd/leapbench -scale small -fig 1
+
+# Runtime smoke: the end-to-end leap.Memory figure must be byte-identical
+# across two runs (real bytes over the in-proc cluster included), and the
+# shared fault-path engine must be race-clean.
+runtime-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig runtime | grep -v 'done in' > /tmp/leap_runtime_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig runtime | grep -v 'done in' > /tmp/leap_runtime_b.txt
+	diff /tmp/leap_runtime_a.txt /tmp/leap_runtime_b.txt
+	$(GO) test -race . ./internal/paging/...
 
 # Regenerate every figure and table at full scale.
 figures:

@@ -281,6 +281,33 @@ func BenchmarkPrefetcherComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkMemoryGetHit(b *testing.B) {
+	// The runtime's resident-hit path — the Get an application pays when
+	// its page is local. Must stay allocation-free: pagemap lookup, LRU
+	// touch, counter bumps, nothing else.
+	mem, err := Open(WithSeed(42), WithCacheCapacity(256), WithQueueDepth(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mem.Close()
+	buf := make([]byte, RemotePageSize)
+	const hot = 64 // well inside the budget: every Get below is a hit
+	for pg := int64(0); pg < hot; pg++ {
+		if _, err := mem.WriteAt(buf, pg*RemotePageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := mem.Get(PageID(i % hot))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = data
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// End-to-end simulator speed: accesses simulated per wall second.
 	gen, _ := NewAppWorkload("powergraph", 42)

@@ -9,9 +9,11 @@
 // Usage:
 //
 //	leapbench                  # run everything at full scale, in parallel
+//	leapbench -list            # print the figure inventory with descriptions
 //	leapbench -fig 7           # one figure
 //	leapbench -fig 1,7,9       # a comma-separated subset
 //	leapbench -fig resilience  # chaos harness: faults, failover, repair
+//	leapbench -fig runtime     # end-to-end leap.Memory over a live cluster
 //	leapbench -fig ablations   # the DESIGN.md ablation sweeps
 //	leapbench -scale small     # quick pass (test-sized runs)
 //	leapbench -parallel 1      # sequential (same output, more wall time)
@@ -29,11 +31,17 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figures to run: comma-separated subset of 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,resilience,scaling,ablations, or all")
+	fig := flag.String("fig", "all", "figures to run: comma-separated subset of 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,resilience,scaling,runtime,ablations, or all (see -list)")
 	scaleName := flag.String("scale", "full", "run scale: full or small")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max figures running concurrently (1 = sequential)")
+	list := flag.Bool("list", false, "print the available figure names with one-line descriptions and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Print(experiments.Describe())
+		return
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {

@@ -102,7 +102,7 @@ func main() {
 // makeGenerator parses the workload flag and reports the generator plus the
 // number of distinct pages it touches (the basis for the memory limit).
 func makeGenerator(name string, seed uint64) (leap.Generator, int64, error) {
-	if gen, ok := leap.NewAppWorkload(name, seed); ok {
+	if gen, err := leap.NewAppWorkload(name, seed); err == nil {
 		return gen, gen.Pages(), nil
 	}
 	const span = 1 << 20

@@ -13,9 +13,9 @@ func mkWorkloads(t *testing.T, n int) []Workload {
 	names := []string{"powergraph", "numpy", "voltdb", "memcached"}
 	var ws []Workload
 	for i := 0; i < n; i++ {
-		gen, ok := NewAppWorkload(names[i%len(names)], uint64(100+i))
-		if !ok {
-			t.Fatalf("unknown workload %q", names[i%len(names)])
+		gen, err := NewAppWorkload(names[i%len(names)], uint64(100+i))
+		if err != nil {
+			t.Fatal(err)
 		}
 		ws = append(ws, Workload{
 			PID:              PID(i + 1),

@@ -14,9 +14,9 @@ import (
 )
 
 func run(system leap.System, label string) leap.SimResult {
-	gen, ok := leap.NewAppWorkload("powergraph", 42)
-	if !ok {
-		log.Fatal("powergraph workload missing")
+	gen, err := leap.NewAppWorkload("powergraph", 42)
+	if err != nil {
+		log.Fatal(err)
 	}
 	res, err := leap.Simulate(leap.SimConfig{
 		System:           system,

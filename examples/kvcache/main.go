@@ -16,9 +16,9 @@ import (
 )
 
 func run(label string, system leap.System, prefetcher string) leap.SimResult {
-	gen, ok := leap.NewAppWorkload("memcached", 7)
-	if !ok {
-		log.Fatal("memcached workload missing")
+	gen, err := leap.NewAppWorkload("memcached", 7)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := leap.SimConfig{
 		System:           system,

@@ -20,9 +20,9 @@ var apps = []string{"powergraph", "numpy", "voltdb", "memcached"}
 func run(system leap.System, queueDepth int) leap.SimResult {
 	var workloads []leap.Workload
 	for i, name := range apps {
-		gen, ok := leap.NewAppWorkload(name, uint64(100+i))
-		if !ok {
-			log.Fatalf("workload %s missing", name)
+		gen, err := leap.NewAppWorkload(name, uint64(100+i))
+		if err != nil {
+			log.Fatal(err)
 		}
 		workloads = append(workloads, leap.Workload{
 			PID:              leap.PID(i + 1),

@@ -1,63 +1,88 @@
-// Quickstart: drive the Leap predictor directly — feed it page faults and
-// read back prefetch candidates, watching the majority-vote trend detector
-// adapt through a pattern change and ignore one-off irregularities.
+// Quickstart: open a leap.Memory — the unified runtime — and watch the
+// paper's machinery work over real remote memory: a sequential scan gets
+// prefetched ahead of the fault stream, a random burst suspends
+// prefetching, and the predictor underneath adapts its window the whole
+// time. Then drive that predictor layer directly to see the raw algorithm.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"leap"
 )
 
 func main() {
-	p := leap.NewPredictor(leap.PredictorConfig{
-		HistorySize:       32, // the paper's Hsize
-		NSplit:            2,  // smallest detection window = 16
-		MaxPrefetchWindow: 8,  // PWsizemax
-	})
+	// One call builds the whole stack: majority-trend predictor, eager
+	// page cache, lean data path, and a private in-process remote-memory
+	// cluster (3 agents, 2-way replication, doorbell-batched async I/O).
+	mem, err := leap.Open(
+		leap.WithCacheCapacity(256), // local budget: 1MB of 4KB frames
+		leap.WithQueueDepth(16),     // up to 16 pages per doorbell frame
+		leap.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mem.Close()
 
-	fmt.Println("=== sequential phase ===")
+	fmt.Println("=== write 16MB through the paging path ===")
+	buf := make([]byte, leap.RemotePageSize)
+	const pages = 4096
+	for pg := int64(0); pg < pages; pg++ {
+		for i := range buf {
+			buf[i] = byte(pg) ^ byte(i)
+		}
+		if _, err := mem.WriteAt(buf, pg*leap.RemotePageSize); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := mem.Stats()
+	fmt.Printf("evictions wrote real pages to the cluster: swapouts=%d host-writes=%d\n",
+		st.Swapouts, st.Host.Writes)
+
+	fmt.Println("\n=== sequential re-read: Leap prefetches ahead of the faults ===")
+	for pg := int64(0); pg < pages; pg++ {
+		data, err := mem.Get(leap.PageID(pg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if data[1] != byte(pg)^1 {
+			log.Fatalf("page %d corrupted", pg)
+		}
+	}
+	st = mem.Stats()
+	fmt.Printf("hit ratio %.1f%%  accuracy %.1f%%  coverage %.1f%%  p50 %v  p99 %v\n",
+		100*st.HitRatio, 100*st.Accuracy, 100*st.Coverage, st.Latency.P50, st.Latency.P99)
+	fmt.Printf("doorbell frames carried %.1f pages on average\n",
+		float64(st.Host.BatchedPages)/float64(max(st.Host.BatchCalls, 1)))
+
+	fmt.Println("\n=== random burst: the window shrinks and prefetching suspends ===")
+	seed := uint64(1)
+	for i := 0; i < 2000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		if _, err := mem.Get(leap.PageID(seed % pages)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st2 := mem.Stats()
+	fmt.Printf("prefetches issued during the burst stayed low: %d (was %d after the scan)\n",
+		st2.PrefetchIssued, st.PrefetchIssued)
+
+	fmt.Println("\n=== the predictor layer, driven directly ===")
+	p := leap.NewPredictor(leap.PredictorConfig{}) // Hsize=32, Nsplit=2, PWsizemax=8
 	var page leap.PageID
 	for i := 0; i < 20; i++ {
-		page = leap.PageID(1000 + i)
+		page = leap.PageID(1000 + i*10)
 		p.Record(page)
 	}
-	fmt.Printf("after 20 sequential faults, Predict(%d) -> %v\n",
-		page+1, p.Predict(page+1))
-
-	// Report consumed prefetches: the window grows toward PWsizemax.
 	for i := 0; i < 8; i++ {
-		p.NoteHit()
+		p.NoteHit() // consumed prefetches grow the window
 	}
-	p.Record(page + 2)
-	fmt.Printf("after 8 prefetch hits, window grows:      %v\n", p.Predict(page+2))
-
-	fmt.Println("\n=== stride-10 phase (trend change) ===")
-	for i := 0; i < 20; i++ {
-		page = leap.PageID(5000 + i*10)
-		p.Record(page)
-	}
-	p.NoteHit()
-	fmt.Printf("stride detected, candidates follow it:    %v\n", p.Predict(page+10))
-
-	fmt.Println("\n=== short-term irregularity (ignored by majority vote) ===")
-	p.Record(99999) // a one-off wild fault
+	fmt.Printf("after a stride-10 run and 8 hits, Predict(%d) -> %v (window %d)\n",
+		page+10, p.Predict(page+10), p.Window())
+	p.Record(99999) // one wild fault: the majority vote shrugs it off
 	p.Record(page + 20)
 	p.NoteHit()
-	fmt.Printf("after one wild fault, trend survives:     %v\n", p.Predict(page+30))
-
-	fmt.Println("\n=== random phase (prefetching suspends) ===")
-	seed := uint64(1)
-	var cands []leap.PageID
-	for i := 0; i < 40; i++ {
-		seed = seed*6364136223846793005 + 1442695040888963407
-		// OnFault records and predicts; with no hits and no trend the
-		// window shrinks smoothly (8→4→2→1) and then suspends.
-		cands = p.OnFault(leap.PageID(seed%(1<<30)), nil)
-	}
-	fmt.Printf("on a random stream, candidates:           %v (suspended)\n", cands)
-
-	st := p.Stats()
-	fmt.Printf("\nstats: faults=%d trends=%d speculative=%d suspended=%d predicted=%d\n",
-		st.Faults, st.TrendHits, st.Speculative, st.Suspended, st.PagesPredicted)
+	fmt.Printf("after one wild fault, the trend survives:  %v\n", p.Predict(page+30))
 }

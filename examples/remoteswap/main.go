@@ -1,10 +1,12 @@
 // Remoteswap: stand up three remote-memory agents over real TCP loopback
-// connections, map slabs across them with rendezvous-hashed placement and
-// two-way replication, push pages out through the async ticket engine
-// (doorbell-batched wire frames) and read them back — then kill an agent
-// and watch reads fail over to replicas, and add a fourth agent and watch
-// Rebalance migrate only its rendezvous share of slabs. This is the
-// §4.4–4.5 substrate moving real bytes.
+// connections, then open a leap.Memory on top of them — the unified runtime
+// paging real bytes over the wire. The demo writes a working set several
+// times the local budget (evictions stream out through the async ticket
+// engine's doorbell-batched frames), reads it back with Leap prefetching
+// ahead of the fault stream, kills an agent and watches the runtime ride
+// replica failover, then adds a fourth agent and rebalances only its
+// rendezvous share of slabs. This is the §4.4–4.5 substrate under the §4.1–
+// 4.3 fault path, moving real bytes.
 //
 // With -chaos, the demo then runs the deterministic chaos harness over a
 // fresh four-agent TCP cluster: a scripted partition and a flaky-write
@@ -61,59 +63,70 @@ func main() {
 	}
 	defer host.Close()
 
-	// Page out 2048 pages (8MB) across the cluster through the async
-	// engine: enqueue a window of writes, ring the doorbell once, and the
-	// queued pages go out as batched wire frames (one round trip per agent
-	// per 16 pages instead of one per page).
-	fmt.Println("\nwriting 2048 pages through the async ticket engine...")
+	// The unified runtime over the TCP cluster: 256 local frames (1MB),
+	// everything else remote, Leap prefetching on the fault path.
+	mem, err := leap.Open(
+		leap.WithRemoteHost(host),
+		leap.WithCacheCapacity(256),
+		leap.WithQueueDepth(16),
+		leap.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mem.Close()
+
+	// Write 2048 pages (8MB) — 8× the local budget, so evictions page out
+	// through the async ticket engine as batched wire frames.
+	fmt.Println("\nwriting 2048 pages through the runtime (8x the local budget)...")
 	buf := make([]byte, leap.RemotePageSize)
-	var last *leap.RemoteTicket
-	for p := leap.PageID(0); p < 2048; p++ {
+	for p := int64(0); p < 2048; p++ {
 		for i := range buf {
 			buf[i] = byte(p) ^ byte(i)
 		}
-		last = host.WritePageAsync(p, buf) // engine copies buf; reuse it freely
-		if host.PendingWrites() >= 64 {    // bounded dirty backlog
-			if err := host.Flush(); err != nil {
-				log.Fatalf("flush: %v", err)
-			}
+		if _, err := mem.WriteAt(buf, p*leap.RemotePageSize); err != nil {
+			log.Fatalf("write page %d: %v", p, err)
 		}
 	}
-	if err := last.Wait(); err != nil { // Wait flushes whatever remains
-		log.Fatalf("final write: %v", err)
+	if err := mem.Flush(); err != nil {
+		log.Fatalf("flush: %v", err)
 	}
-	st := host.Stats()
+	st := mem.Stats()
 	fmt.Printf("slab load per agent (rendezvous hashing): %v\n", host.SlabLoad())
 	fmt.Printf("batched frames: %d carrying %d pages (%.1f pages/doorbell)\n",
-		st.BatchCalls, st.BatchedPages, float64(st.BatchedPages)/float64(st.BatchCalls))
+		st.Host.BatchCalls, st.Host.BatchedPages,
+		float64(st.Host.BatchedPages)/float64(max(st.Host.BatchCalls, 1)))
 
-	// Read back and verify.
-	for p := leap.PageID(0); p < 2048; p++ {
-		if err := host.ReadPage(p, buf); err != nil {
+	// Read back and verify: Leap prefetches the sequential fault stream
+	// over the real wire.
+	for p := int64(0); p < 2048; p++ {
+		data, err := mem.Get(leap.PageID(p))
+		if err != nil {
 			log.Fatalf("read page %d: %v", p, err)
 		}
-		if buf[17] != byte(p)^17 {
+		if data[17] != byte(p)^17 {
 			log.Fatalf("page %d corrupted", p)
 		}
 	}
-	fmt.Println("all 2048 pages verified over TCP")
+	st = mem.Stats()
+	fmt.Printf("all 2048 pages verified over TCP: hit ratio %.1f%%, accuracy %.1f%%, p50 %v\n",
+		100*st.HitRatio, 100*st.Accuracy, st.Latency.P50)
 
-	// Fail one agent: reads must keep working via replicas.
-	fmt.Println("\nkilling agent 0; rereading everything...")
+	// Fail one agent: the runtime must keep serving via replicas.
+	fmt.Println("\nkilling agent 0; rereading everything through the runtime...")
 	listeners[0].Close()
 	transports[0].Close()
-	failed := 0
-	for p := leap.PageID(0); p < 2048; p++ {
-		if err := host.ReadPage(p, buf); err != nil {
-			failed++
+	for p := int64(0); p < 2048; p++ {
+		data, err := mem.Get(leap.PageID(p))
+		if err != nil {
+			log.Fatalf("read page %d with dead agent: %v", p, err)
+		}
+		if data[17] != byte(p)^17 {
+			log.Fatalf("page %d corrupted after failover", p)
 		}
 	}
-	st = host.Stats()
-	fmt.Printf("reads failed: %d; failovers served by replicas: %d\n", failed, st.Failovers)
-	if failed > 0 {
-		log.Fatal("replication failed to mask the dead agent")
-	}
-	fmt.Println("two-way replication masked the failure completely")
+	fmt.Printf("failovers served by replicas: %d — replication masked the dead agent\n",
+		mem.Stats().Host.Failovers)
 
 	// Mark the dead agent failed, then grow the pool: a fourth agent joins
 	// and Rebalance migrates exactly the slabs whose rendezvous ranking it
@@ -140,13 +153,14 @@ func main() {
 		log.Fatalf("rebalance: %v", err)
 	}
 	fmt.Printf("agent %d joined on %s; rebalance moved %d of %d slabs (the failed agent's share + the newcomer's wins)\n",
-		idx, l3.Addr(), moved, st.SlabsMapped)
+		idx, l3.Addr(), moved, st.Host.SlabsMapped)
 	fmt.Printf("slab load per agent after rebalance: %v\n", host.SlabLoad())
-	for p := leap.PageID(0); p < 2048; p++ {
-		if err := host.ReadPage(p, buf); err != nil {
+	for p := int64(0); p < 2048; p++ {
+		data, err := mem.Get(leap.PageID(p))
+		if err != nil {
 			log.Fatalf("read page %d after rebalance: %v", p, err)
 		}
-		if buf[17] != byte(p)^17 {
+		if data[17] != byte(p)^17 {
 			log.Fatalf("page %d corrupted after rebalance", p)
 		}
 	}

@@ -116,6 +116,11 @@ func (p *Predictor) Stats() Stats { return p.stats }
 // debugging, the Fig. 3 classifier).
 func (p *Predictor) History() *AccessHistory { return p.hist }
 
+// Window reports the current prefetch window size PWsize — the page count
+// the most recent decision issued (0 while suspended). It grows with
+// NoteHit feedback and shrinks smoothly without it (Algorithm 2).
+func (p *Predictor) Window() int { return p.prevWindow }
+
 // NoteHit informs the predictor that one of its previously predicted pages
 // was consumed from the cache. This is Chit in Algorithm 2: the feedback
 // signal that grows the prefetch window.

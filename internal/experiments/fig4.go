@@ -43,8 +43,8 @@ func Fig4(s Scale, seed uint64) Fig4Result {
 	return Fig4Result{
 		LazyWait:   mLazy.Cache().WaitTime.Summarize(),
 		EagerWait:  mEager.Cache().WaitTime.Summarize(),
-		AllocLazy:  mLazy.AllocLatency.Mean(),
-		AllocEager: mEager.AllocLatency.Mean(),
+		AllocLazy:  mLazy.AllocLatency().Mean(),
+		AllocEager: mEager.AllocLatency().Mean(),
 	}
 }
 

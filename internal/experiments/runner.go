@@ -15,43 +15,62 @@ type FigureResult struct {
 	Elapsed time.Duration
 }
 
-// figureRunner pairs a figure name with its driver. Drivers are pure:
-// each builds its own machines from (Scale, seed), so distinct figures can
-// run concurrently.
+// figureRunner pairs a figure name with its driver and a one-line
+// description (the -list inventory). Drivers are pure: each builds its own
+// machines from (Scale, seed), so distinct figures can run concurrently.
 type figureRunner struct {
 	name string
+	desc string
 	run  func(Scale, uint64) string
 }
 
 // figureRegistry lists every figure in the paper's presentation order.
 var figureRegistry = []figureRunner{
-	{"1", func(s Scale, seed uint64) string { return fmt.Sprint(Fig1(s, seed)) }},
-	{"2", func(s Scale, seed uint64) string { return fmt.Sprint(Fig2(s, seed)) }},
-	{"3", func(s Scale, seed uint64) string { return fmt.Sprint(Fig3(s, seed)) }},
-	{"4", func(s Scale, seed uint64) string { return fmt.Sprint(Fig4(s, seed)) }},
-	{"table1", func(Scale, uint64) string { return RenderTable1() }},
-	{"7", func(s Scale, seed uint64) string { return fmt.Sprint(Fig7(s, seed)) }},
-	{"8a", func(s Scale, seed uint64) string { return fmt.Sprint(Fig8a(s, seed)) }},
-	{"8b", func(s Scale, seed uint64) string { return fmt.Sprint(Fig8b(s, seed)) }},
-	{"9", func(s Scale, seed uint64) string { return fmt.Sprint(Fig9(s, seed)) }},
-	{"10", func(s Scale, seed uint64) string { return fmt.Sprint(Fig10(s, seed)) }},
-	{"11", func(s Scale, seed uint64) string { return fmt.Sprint(Fig11(s, seed)) }},
-	{"12", func(s Scale, seed uint64) string { return fmt.Sprint(Fig12(s, seed)) }},
-	{"13", func(s Scale, seed uint64) string { return fmt.Sprint(Fig13(s, seed)) }},
-	{"resilience", func(s Scale, seed uint64) string { return fmt.Sprint(Resilience(s, seed)) }},
-	{"scaling", func(s Scale, seed uint64) string { return fmt.Sprint(Scaling(s, seed)) }},
-	{"ablations", func(s Scale, seed uint64) string {
-		parts := []string{
-			fmt.Sprint(AblationMajorityVsStrict(s, seed)),
-			fmt.Sprint(AblationWindowDoubling(s, seed)),
-			fmt.Sprint(AblationEviction(s, seed)),
-			fmt.Sprint(AblationIsolation(s, seed)),
-			fmt.Sprint(AblationHistorySize(s, seed)),
-			fmt.Sprint(AblationMaxWindow(s, seed)),
-			fmt.Sprint(AblationThrottling(s, seed)),
-		}
-		return strings.Join(parts, "\n")
-	}},
+	{"1", "data-path latency breakdown: stock block layer vs Leap's lean path",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig1(s, seed)) }},
+	{"2", "4KB read latency CDFs across disaggregated VMM/VFS stacks",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig2(s, seed)) }},
+	{"3", "page-fault pattern mix (sequential/stride/irregular) per application",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig3(s, seed)) }},
+	{"4", "consumed-page wait time under lazy vs eager cache eviction",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig4(s, seed)) }},
+	{"table1", "majority-trend prefetching contrasted with prior prefetcher classes",
+		func(Scale, uint64) string { return RenderTable1() }},
+	{"7", "microbenchmark latency CDFs: default path vs Leap, sequential and stride",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig7(s, seed)) }},
+	{"8a", "prefetcher comparison on the sequential microbenchmark",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig8a(s, seed)) }},
+	{"8b", "prefetcher comparison on the stride-10 microbenchmark",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig8b(s, seed)) }},
+	{"9", "cache adds and prefetch accuracy/coverage per prefetcher and app",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig9(s, seed)) }},
+	{"10", "application 4KB latency CDFs and prefetch timeliness on Leap",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig10(s, seed)) }},
+	{"11", "application completion time and throughput at 100%/50%/25% memory",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig11(s, seed)) }},
+	{"12", "Leap under shrinking prefetch-cache budgets",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig12(s, seed)) }},
+	{"13", "multi-process isolation: per-process predictors vs global stream",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Fig13(s, seed)) }},
+	{"resilience", "chaos harness: scripted faults, failover latency, repair traffic",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Resilience(s, seed)) }},
+	{"scaling", "async ticket engine throughput over agents × queue-depth grid",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Scaling(s, seed)) }},
+	{"runtime", "end-to-end leap.Memory: prefetchers over a live in-proc remote cluster",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Runtime(s, seed)) }},
+	{"ablations", "design-choice sweeps: majority vote, windows, eviction, isolation",
+		func(s Scale, seed uint64) string {
+			parts := []string{
+				fmt.Sprint(AblationMajorityVsStrict(s, seed)),
+				fmt.Sprint(AblationWindowDoubling(s, seed)),
+				fmt.Sprint(AblationEviction(s, seed)),
+				fmt.Sprint(AblationIsolation(s, seed)),
+				fmt.Sprint(AblationHistorySize(s, seed)),
+				fmt.Sprint(AblationMaxWindow(s, seed)),
+				fmt.Sprint(AblationThrottling(s, seed)),
+			}
+			return strings.Join(parts, "\n")
+		}},
 }
 
 // Figures reports the registered figure names in presentation order.
@@ -61,6 +80,16 @@ func Figures() []string {
 		names[i] = r.name
 	}
 	return names
+}
+
+// Describe renders the figure inventory — one "name  description" line per
+// registered figure, in presentation order (the leapbench -list output).
+func Describe() string {
+	var b strings.Builder
+	for _, r := range figureRegistry {
+		fmt.Fprintf(&b, "%-11s %s\n", r.name, r.desc)
+	}
+	return b.String()
 }
 
 // RunFigure runs one named figure, reporting false for an unknown name.

@@ -67,6 +67,10 @@ func (p *Leap) Reset() {
 	p.lastPred = nil
 }
 
+// Predictor exposes pid's predictor (created on first use), for direct
+// inspection of its window and history through a live fault path.
+func (p *Leap) Predictor(pid PID) *core.Predictor { return p.predictor(pid) }
+
 // ProcessStats reports the per-process predictor statistics, keyed by PID
 // (key 0 when Shared).
 func (p *Leap) ProcessStats() map[PID]core.Stats {

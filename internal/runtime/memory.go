@@ -1,0 +1,527 @@
+// Package runtime implements the leap.Memory runtime — the byte-addressable
+// paged memory that fuses the predictor, prefetchers, page cache and the
+// real remote-memory substrate behind one fault path (internal/paging). The
+// root package leap re-exports it; use leap.Open.
+package runtime
+
+import (
+	"fmt"
+
+	"leap/internal/core"
+	"leap/internal/datapath"
+	"leap/internal/metrics"
+	"leap/internal/pagecache"
+	"leap/internal/pagemap"
+	"leap/internal/paging"
+	"leap/internal/prefetch"
+	"leap/internal/remote"
+	"leap/internal/sim"
+)
+
+// Memory is the byte-addressable remote-memory runtime: the paper's full
+// stack fused into one client object. Local memory is a bounded set of page
+// frames (the cgroup budget); everything beyond it lives on the remote
+// substrate (RemoteHost: rendezvous-placed, replicated slabs reached over
+// in-process or TCP transports). An access to a non-local page takes the
+// same fault path as the simulator — the internal/paging engine shared with
+// Simulate — so the majority-trend predictor watches the fault stream,
+// prefetch windows go out to the real host through the async ticket engine
+// (doorbell-batched wire frames), and the adaptive page cache decides
+// eviction, while real page images move underneath.
+//
+// Time is virtual: every fault charges the modeled data-path + fabric
+// latency to the runtime's clock (WithClock shares it), so hit ratios,
+// latency percentiles and prefetch accuracy are reproducible bit-for-bit
+// from the options — while the bytes, placement, replication and failover
+// are real. Memory is not safe for concurrent use.
+type Memory struct {
+	eng  *paging.Engine[*Memory]
+	res  *paging.Resident
+	host *remote.Host
+	// ownHost marks a self-built in-process host (closed by Close; a host
+	// supplied via WithRemoteHost is the caller's to close).
+	ownHost bool
+	clock   *sim.Clock
+	qdepth  int
+
+	// frames holds the real bytes of every local page: resident pages plus
+	// prefetched pages parked in the cache and in flight.
+	frames    *pagemap.Map[*frame]
+	frameFree *frame
+	// written tracks pages with a remote image (including writes still
+	// queued in the host's dirty buffer): only those are fetched from the
+	// host; everything else reads as zeros without touching the wire.
+	written *pagemap.Map[struct{}]
+	// faulting is the page currently traversing the fault path: the eager
+	// cache policy frees its cache entry mid-fault (the page table takes
+	// ownership), and the eviction callback must not drop its frame.
+	faulting core.PageID
+
+	tickets     []*remote.Ticket
+	ticketPages []core.PageID
+
+	// err is the first unrecoverable store failure (a writeback no replica
+	// accepted); every subsequent operation reports it.
+	err error
+
+	// cacheStats0 snapshots cache counters at measurement start, so
+	// accuracy/coverage cover only the recorded phase (mirrors the
+	// simulator's warmup handling).
+	cacheStats0 pagecache.Stats
+
+	cAccesses     *int64
+	cFaults       *int64
+	cResidentHits *int64
+}
+
+// frame is one 4KB local page frame. Frames are pooled; data stays at
+// PageSize.
+type frame struct {
+	data  []byte
+	dirty bool
+	next  *frame // free list
+}
+
+// memOptions collects Open's functional options.
+type memOptions struct {
+	pf         prefetch.Prefetcher
+	host       *remote.Host
+	capacity   int
+	queueDepth int
+	clock      *sim.Clock
+	seed       uint64
+	agents     int
+	slabPages  int
+}
+
+// Option configures Open.
+type Option func(*memOptions)
+
+// WithPrefetcher selects the prefetching policy consulted on every fault
+// (default: the Leap majority-trend predictor). Build baselines with
+// NewPrefetcher("readahead"), NewPrefetcher("none"), etc.
+func WithPrefetcher(p prefetch.Prefetcher) Option { return func(o *memOptions) { o.pf = p } }
+
+// WithRemoteHost runs the Memory over an existing host — typically one
+// dialed to TCP agents (cmd/leapagent). The caller keeps ownership: Close
+// flushes but does not close it. Without this option Open builds a private
+// three-agent in-process cluster with two-way replication.
+func WithRemoteHost(h *remote.Host) Option { return func(o *memOptions) { o.host = h } }
+
+// WithCacheCapacity sets the local memory budget in pages — the cgroup
+// limit resident frames plus the prefetch cache are charged against
+// (default 1024 pages = 4MB).
+func WithCacheCapacity(pages int) Option { return func(o *memOptions) { o.capacity = pages } }
+
+// WithQueueDepth bounds the async ticket engine's doorbell batches: up to
+// this many page operations ride one wire frame per agent, and eviction
+// writebacks accumulate behind a dirty backlog of the same bound (default
+// 8; 1 degenerates to one synchronous round trip per page).
+func WithQueueDepth(depth int) Option { return func(o *memOptions) { o.queueDepth = depth } }
+
+// WithClock shares a virtual clock with the runtime (for virtual-time
+// tests: fault latencies are charged to it, so a test can interleave its
+// own events deterministically). Default: a private clock starting at 0.
+func WithClock(c *sim.Clock) Option { return func(o *memOptions) { o.clock = c } }
+
+// WithSeed seeds the latency models (fabric jitter, data-path stage draws).
+// Equal seeds and equal access sequences replay bit-identically.
+func WithSeed(seed uint64) Option { return func(o *memOptions) { o.seed = seed } }
+
+// Open builds a Memory runtime. With no options it is the full Leap stack
+// of the paper over a private in-process remote-memory cluster: lean data
+// path, eager cache eviction, majority-trend prefetching, async
+// doorbell-batched remote I/O.
+func Open(opts ...Option) (*Memory, error) {
+	o := memOptions{
+		capacity:   1024,
+		queueDepth: remote.DefaultQueueDepth,
+		seed:       42,
+		agents:     3,
+		slabPages:  1024,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.capacity <= 0 {
+		return nil, fmt.Errorf("leap: cache capacity %d, need > 0", o.capacity)
+	}
+	if o.queueDepth <= 0 {
+		o.queueDepth = 1
+	}
+	m := &Memory{
+		clock:    o.clock,
+		qdepth:   o.queueDepth,
+		frames:   pagemap.New[*frame](o.capacity),
+		written:  pagemap.New[struct{}](0),
+		faulting: -1,
+	}
+	if m.clock == nil {
+		m.clock = &sim.Clock{}
+	}
+	m.host = o.host
+	if m.host == nil {
+		transports := make([]remote.Transport, o.agents)
+		for i := range transports {
+			transports[i] = remote.NewInProc(remote.NewAgent(o.slabPages, 0))
+		}
+		h, err := remote.NewHost(remote.HostConfig{
+			SlabPages:  o.slabPages,
+			Replicas:   2,
+			QueueDepth: o.queueDepth,
+			Seed:       o.seed,
+		}, transports)
+		if err != nil {
+			return nil, err
+		}
+		m.host = h
+		m.ownHost = true
+	}
+	pf := o.pf
+	if pf == nil {
+		pf = prefetch.NewLeap(core.Config{})
+	}
+	// The full Leap stack of §4: lean data path, eager cache eviction, and
+	// (unless overridden) majority-trend prefetching — the same
+	// configuration Simulate's SystemDVMMLeap preset builds, so a Memory
+	// run and a simulator run over one trace make identical decisions.
+	m.eng = paging.New[*Memory](paging.Config{
+		Path:        datapath.Config{Kind: datapath.Lean},
+		CachePolicy: pagecache.EvictEager,
+		Prefetcher:  pf,
+		QueueDepth:  o.queueDepth,
+		Seed:        o.seed,
+	})
+	m.res = paging.NewResident(o.capacity)
+	m.res.Limit = int64(o.capacity)
+	m.eng.OnInsert = func(mm *Memory) { mm.res.Charged++ }
+	m.eng.OnIssue = (*Memory).fetchPrefetches
+	m.eng.OnEvict = (*Memory).evictResident
+	m.eng.Cache().OnEvict = m.cacheEvicted
+	m.cAccesses = m.eng.Counters.Handle("accesses")
+	m.cFaults = m.eng.Counters.Handle("faults")
+	m.cResidentHits = m.eng.Counters.Handle("resident_hits")
+	return m, nil
+}
+
+// Now reports the runtime's virtual time.
+func (m *Memory) Now() sim.Time { return m.clock.Now() }
+
+// SetRecording toggles metric collection — populate/warmup phases run with
+// recording off, exactly like the simulator's warmup. Turning recording on
+// snapshots cache counters so Stats covers only the measured phase. Bytes
+// always move; only accounting pauses.
+func (m *Memory) SetRecording(on bool) {
+	if on && !m.eng.Recording() {
+		m.cacheStats0 = m.eng.Cache().Stats()
+	}
+	m.eng.SetRecording(on)
+}
+
+// Host exposes the remote substrate (stats, repair, rebalance hooks).
+func (m *Memory) Host() *remote.Host { return m.host }
+
+// Prefetcher exposes the configured prefetcher (e.g. to read per-process
+// predictor statistics off a *prefetch.Leap).
+func (m *Memory) Prefetcher() prefetch.Prefetcher { return m.eng.Prefetcher() }
+
+// newFrame takes a frame off the free list, or allocates one.
+func (m *Memory) newFrame() *frame {
+	f := m.frameFree
+	if f == nil {
+		return &frame{data: make([]byte, remote.PageSize)}
+	}
+	m.frameFree = f.next
+	f.next = nil
+	f.dirty = false
+	return f
+}
+
+// freeFrame returns a frame to the pool.
+func (m *Memory) freeFrame(f *frame) {
+	f.next = m.frameFree
+	m.frameFree = f
+}
+
+// zeroFrame clears a recycled frame's bytes.
+func zeroFrame(f *frame) {
+	clear(f.data)
+}
+
+// cacheEvicted keeps the cgroup charge and the frame table in step with the
+// page cache: a cache entry leaving uncharges it, and its frame is released
+// unless the page is (or is becoming) resident.
+func (m *Memory) cacheEvicted(page core.PageID) {
+	m.res.Charged--
+	if page == m.faulting || m.res.Contains(page) {
+		return
+	}
+	if f, ok := m.frames.Get(page); ok {
+		m.frames.Delete(page)
+		m.freeFrame(f)
+	}
+}
+
+// evictResident is the engine's residency-eviction hook: the victim's bytes
+// are written back to the remote host if dirty (through the async ticket
+// engine, behind the bounded dirty backlog), and its frame is released
+// unless the page cache still references the page.
+func (m *Memory) evictResident(page core.PageID) {
+	f, ok := m.frames.Get(page)
+	if !ok {
+		return
+	}
+	if f.dirty {
+		m.written.Put(page, struct{}{})
+		m.host.WritePageAsync(page, f.data)
+		f.dirty = false
+		if m.host.PendingWrites() >= m.qdepth {
+			if err := m.host.Flush(); err != nil && m.err == nil {
+				m.err = fmt.Errorf("leap: writeback failed: %w", err)
+			}
+		}
+	}
+	if !m.eng.Cache().Contains(page) {
+		m.frames.Delete(page)
+		m.freeFrame(f)
+	}
+}
+
+// fetchPrefetches is the engine's prefetch-issue hook: the window's pages
+// get frames and their real bytes are fetched from the host through the
+// async ticket engine — one doorbell flush for the whole window. Pages with
+// no remote image materialize as zeros without touching the wire. A page
+// whose fetch fails on every replica is abandoned (the in-flight entry is
+// cancelled); a later demand access retries synchronously.
+func (m *Memory) fetchPrefetches(pages []core.PageID) {
+	m.tickets = m.tickets[:0]
+	m.ticketPages = m.ticketPages[:0]
+	for _, page := range pages {
+		f := m.newFrame()
+		m.frames.Put(page, f)
+		if m.written.Contains(page) {
+			m.tickets = append(m.tickets, m.host.ReadPageAsync(page, f.data))
+			m.ticketPages = append(m.ticketPages, page)
+		} else {
+			zeroFrame(f)
+		}
+	}
+	if len(m.tickets) == 0 {
+		return
+	}
+	// Read outcomes are per-ticket (checked below); a Flush error is a
+	// queued eviction writeback that failed on every replica — acked
+	// application data is gone, so latch it like every other writeback
+	// path does.
+	if err := m.host.Flush(); err != nil && m.err == nil {
+		m.err = fmt.Errorf("leap: writeback failed: %w", err)
+	}
+	for i, t := range m.tickets {
+		if t.Err() == nil {
+			continue
+		}
+		page := m.ticketPages[i]
+		// The batched fetch failed (e.g. every replica of its slab is
+		// unreachable mid-fault-injection): retry once synchronously, and
+		// abandon the prefetch if the page is truly unreachable.
+		if f, ok := m.frames.Get(page); ok {
+			if m.host.ReadPage(page, f.data) == nil {
+				continue
+			}
+			m.frames.Delete(page)
+			m.freeFrame(f)
+		}
+		m.eng.CancelPrefetch(page)
+	}
+}
+
+// page runs one access to pg through the shared fault path and returns its
+// frame. This is the runtime counterpart of the simulator's step: flush
+// landed prefetches, check residency, fault through cache/in-flight/miss,
+// consult the prefetcher, map the page in.
+func (m *Memory) page(pg core.PageID) (*frame, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if pg < 0 {
+		return nil, fmt.Errorf("leap: negative page %d", pg)
+	}
+	now := m.clock.Now()
+	m.eng.FlushArrivals(now)
+	recording := m.eng.Recording()
+	if recording {
+		*m.cAccesses++
+	}
+
+	// Resident: no fault.
+	if m.res.Touch(pg) {
+		if recording {
+			*m.cResidentHits++
+		}
+		f, _ := m.frames.Get(pg)
+		return f, nil
+	}
+
+	if recording {
+		*m.cFaults++
+	}
+	m.faulting = pg
+	latency, miss := m.eng.Fault(0, 0, pg, now)
+	if miss {
+		// Full miss: fetch the real bytes (zeros when the page has no
+		// remote image — memory never written reads as zero).
+		f := m.newFrame()
+		if m.written.Contains(pg) {
+			if err := m.host.ReadPage(pg, f.data); err != nil {
+				m.freeFrame(f)
+				m.faulting = -1
+				return nil, fmt.Errorf("leap: page %d unreachable: %w", pg, err)
+			}
+		} else {
+			zeroFrame(f)
+		}
+		m.frames.Put(pg, f)
+	}
+	m.clock.Advance(latency)
+	now = m.clock.Now()
+	m.eng.OnAccess(m, m.res, 0, 0, pg, miss, now)
+	m.eng.MapIn(m, m.res, 0, pg, now)
+	m.faulting = -1
+	f, ok := m.frames.Get(pg)
+	if !ok {
+		// Unreachable by construction: every path above installed a frame.
+		return nil, fmt.Errorf("leap: page %d lost its frame", pg)
+	}
+	return f, m.err
+}
+
+// Get faults page pg in (prefetching around it) and returns its 4KB frame.
+// The returned slice is a read-only view into the runtime's frame table,
+// valid until the next Memory operation; use WriteAt to mutate pages.
+func (m *Memory) Get(pg core.PageID) ([]byte, error) {
+	f, err := m.page(pg)
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// ReadAt implements io.ReaderAt over the paged address space: it fills p
+// from offset off, faulting (and prefetching) page by page. Never-written
+// memory reads as zeros; there is no EOF.
+func (m *Memory) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("leap: negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		f, err := m.page(core.PageID(off / remote.PageSize))
+		if err != nil {
+			return n, err
+		}
+		c := copy(p[n:], f.data[off%remote.PageSize:])
+		n += c
+		off += int64(c)
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt: it copies p into the paged address space
+// at offset off. Partially covered pages fault in first (read-modify-write);
+// dirty frames are written back to the remote host on eviction through the
+// async ticket engine.
+func (m *Memory) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("leap: negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		f, err := m.page(core.PageID(off / remote.PageSize))
+		if err != nil {
+			return n, err
+		}
+		c := copy(f.data[off%remote.PageSize:], p[n:])
+		f.dirty = true
+		n += c
+		off += int64(c)
+	}
+	return n, nil
+}
+
+// Flush drains every queued asynchronous remote operation (the host's
+// ticket queues and the engine's writeback backlog) and reports the first
+// store failure, if any. Resident dirty frames stay local — they are
+// memory, not a write-through cache — and reach the host on eviction.
+func (m *Memory) Flush() error {
+	m.eng.FlushWriteback(0, m.clock.Now())
+	if err := m.host.Flush(); err != nil && m.err == nil {
+		m.err = fmt.Errorf("leap: flush failed: %w", err)
+	}
+	return m.err
+}
+
+// Close flushes queued remote operations and, when the runtime owns its
+// in-process cluster, closes the host. A host supplied via WithRemoteHost
+// is left open for its owner.
+func (m *Memory) Close() error {
+	err := m.Flush()
+	if m.ownHost {
+		if cerr := m.host.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Stats aggregates the runtime's fault-path accounting. Counts are
+// cumulative since Open.
+type Stats struct {
+	// Accesses is every page touch; ResidentHits paid no fault.
+	Accesses, ResidentHits int64
+	// Faults is every non-resident access; CacheHits landed on a completed
+	// prefetch, InflightHits on one still in flight, Misses went to the
+	// host (or materialized a zero page).
+	Faults, CacheHits, InflightHits, Misses int64
+	// PrefetchIssued counts pages the prefetcher requested; Swapouts counts
+	// resident evictions.
+	PrefetchIssued, Swapouts int64
+	// HitRatio is the fraction of accesses that did not pay a full miss.
+	HitRatio float64
+	// Accuracy is prefetch hits / prefetch issued; Coverage is prefetch
+	// hits / faults (§3.1 definitions).
+	Accuracy, Coverage float64
+	// Latency summarizes the virtual-time fault latency distribution.
+	Latency metrics.Summary
+	// Host is the remote substrate's accounting (wire frames, failovers,
+	// repairs).
+	Host remote.HostStats
+}
+
+// Stats reports the runtime's cumulative accounting.
+func (m *Memory) Stats() Stats {
+	c := &m.eng.Counters
+	cs := m.eng.Cache().Stats()
+	s := Stats{
+		Accesses:       c.Get("accesses"),
+		ResidentHits:   c.Get("resident_hits"),
+		Faults:         c.Get("faults"),
+		CacheHits:      c.Get("cache_hits"),
+		InflightHits:   c.Get("inflight_hits"),
+		Misses:         c.Get("cache_misses"),
+		PrefetchIssued: c.Get("prefetch_issued"),
+		Swapouts:       c.Get("swapouts"),
+		Latency:        m.eng.FaultLatency.Summarize(),
+		Host:           m.host.Stats(),
+	}
+	if s.Accesses > 0 {
+		s.HitRatio = 1 - float64(s.Misses)/float64(s.Accesses)
+	}
+	prefetchHits := cs.PrefetchHits - m.cacheStats0.PrefetchHits + s.InflightHits
+	if s.PrefetchIssued > 0 {
+		s.Accuracy = float64(prefetchHits) / float64(s.PrefetchIssued)
+	}
+	if s.Faults > 0 {
+		s.Coverage = float64(prefetchHits) / float64(s.Faults)
+	}
+	return s
+}

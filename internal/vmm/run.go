@@ -45,19 +45,19 @@ type Result struct {
 // Collect derives a Result covering the measured phase (everything since
 // recording was last enabled).
 func (m *Machine) Collect() Result {
-	st := m.cache.Stats()
-	inflightHits := m.Counters.Get("inflight_hits")
+	st := m.eng.Cache().Stats()
+	inflightHits := m.eng.Counters.Get("inflight_hits")
 	prefetchHits := st.PrefetchHits - m.cacheStats0.PrefetchHits + inflightHits
-	issued := m.Counters.Get("prefetch_issued")
-	faults := m.Counters.Get("faults")
+	issued := m.eng.Counters.Get("prefetch_issued")
+	faults := m.eng.Counters.Get("faults")
 
 	r := Result{
 		Makespan:       m.measuredMakespan(),
-		Latency:        m.FaultLatency.Summarize(),
+		Latency:        m.eng.FaultLatency.Summarize(),
 		Faults:         faults,
-		ResidentHits:   m.Counters.Get("resident_hits"),
+		ResidentHits:   m.eng.Counters.Get("resident_hits"),
 		CacheAdds:      st.Adds - m.cacheStats0.Adds,
-		CacheMisses:    m.Counters.Get("cache_misses"),
+		CacheMisses:    m.eng.Counters.Get("cache_misses"),
 		PrefetchIssued: issued,
 		Pollution:      st.Pollution - m.cacheStats0.Pollution,
 	}

@@ -11,6 +11,12 @@
 // process with the smallest local clock. Everything is deterministic given
 // the configuration seed.
 //
+// The fault path itself — cache lookup, in-flight wait, miss pricing,
+// prefetch issue, residency map-in with reclaim — lives in internal/paging
+// and is shared verbatim with the leap.Memory runtime; this package owns
+// only what is simulator-specific: the process scheduler, per-process
+// clocks and metrics, and workload generation.
+//
 // Page identity: process pid's virtual page v maps to the global swap
 // address pid<<40 | v. Per-process deltas are preserved (Leap's per-process
 // predictors see clean patterns), while the *stream* interleaving of
@@ -28,9 +34,8 @@ import (
 	"leap/internal/eventq"
 	"leap/internal/metrics"
 	"leap/internal/pagecache"
-	"leap/internal/pagemap"
+	"leap/internal/paging"
 	"leap/internal/prefetch"
-	"leap/internal/rdma"
 	"leap/internal/sim"
 	"leap/internal/storage"
 	"leap/internal/workload"
@@ -90,12 +95,6 @@ type App struct {
 	PreloadPages int64
 }
 
-// resEntry is one resident page in a process's LRU list.
-type resEntry struct {
-	page       core.PageID // global address
-	prev, next *resEntry
-}
-
 // proc is the runtime state of one simulated process.
 type proc struct {
 	app   App
@@ -113,15 +112,9 @@ type proc struct {
 	accPerOp int64
 	opLeft   int64
 
-	// charged tracks page-cache pages attributed to this process's cgroup:
-	// in Linux, swap-cache pages are charged to the faulting cgroup, so a
-	// flooding prefetcher squeezes the process's own resident set. The
-	// fault path enforces resident+charged <= limit.
-	charged int64
-
-	resident *pagemap.Map[*resEntry]
-	lruHead  *resEntry // most recently used
-	lruTail  *resEntry
+	// res is this process's residency set (page table + LRU + cgroup
+	// charge), managed by the shared paging engine.
+	res *paging.Resident
 
 	accesses int64
 	faults   int64
@@ -142,19 +135,6 @@ type proc struct {
 	Latency metrics.Histogram
 }
 
-// arrival is a prefetched page in flight. It carries the issuing proc so
-// landing it needs no pid lookup.
-type arrival struct {
-	page core.PageID
-	at   sim.Time
-	proc *proc
-}
-
-// arrivalLess orders arrivals by completion time (eventq preserves
-// container/heap's tie order, so the landing sequence of same-time arrivals
-// — and with it cache LRU order — is unchanged from the boxed heap).
-func arrivalLess(a, b arrival) bool { return a.at < b.at }
-
 // procLess orders the scheduler heap by (clock, order): the unique least
 // element is exactly the proc a first-wins linear scan would pick.
 func procLess(a, b *proc) bool {
@@ -166,11 +146,11 @@ func procLess(a, b *proc) bool {
 
 // Machine simulates one host. Not safe for concurrent use.
 type Machine struct {
-	cfg   Config
-	path  *datapath.Path
-	cache *pagecache.Cache
-	dev   storage.Device
-	pf    prefetch.Prefetcher
+	cfg Config
+	// eng is the shared fault-path engine (internal/paging): page cache,
+	// in-flight prefetch tracking, miss pricing, prefetch issue, residency
+	// map-in. All processes share it, exactly as processes share a kernel.
+	eng *paging.Engine[*proc]
 
 	procs []*proc
 	byPID map[PID]*proc
@@ -178,46 +158,14 @@ type Machine struct {
 	// proc in O(log P) instead of scanning all processes per step.
 	sched *eventq.Heap[*proc]
 
-	inflight  *pagemap.Map[sim.Time]
-	inflights *eventq.Heap[arrival]
-
-	// Batched submission (RemoteQueueDepth > 1 on a BatchDevice): prefetch
-	// fan-out goes through batchDev in chunks of qdepth, and evicted pages
-	// accumulate in the writeback backlog until it reaches qdepth.
-	batchDev   storage.BatchDevice
-	qdepth     int
-	batchPages []core.PageID
-	batchDists []int64
-	batchDone  []sim.Time
-	wbPages    []core.PageID
-	wbDists    []int64
-
-	// resFree is a free list of resEntry nodes (linked through next), so the
-	// map-in/evict churn of the fault path stops allocating.
-	resFree *resEntry
-
-	lastDevPage core.PageID // device head/locality tracker
-	candBuf     []core.PageID
-
 	recording bool
 	// cacheStats0 snapshots cache counters at measurement start.
 	cacheStats0 pagecache.Stats
 
-	// Global metrics.
-	FaultLatency metrics.Histogram // all swap-in faults, all processes
-	AllocLatency metrics.Histogram // page-allocation cost paid per miss
-	Counters     metrics.Counters
-
-	// Pre-resolved counter handles: the fault path increments through these
-	// pointers instead of paying a string-map lookup per event.
-	cResidentHits   *int64
-	cFaults         *int64
-	cCacheHits      *int64
-	cCacheMisses    *int64
-	cInflightHits   *int64
-	cInflightAdds   *int64
-	cPrefetchIssued *int64
-	cSwapouts       *int64
+	// Pre-resolved counter handles for the simulator-owned counters (the
+	// engine resolves its own).
+	cResidentHits *int64
+	cFaults       *int64
 }
 
 // NewMachine builds a machine with the given apps.
@@ -225,50 +173,31 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("vmm: no apps")
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	dev := cfg.Device
-	if dev == nil {
-		dev = storage.NewRemote(rdma.New(rdma.Config{}, rng.Fork(1)))
-	}
-	pf := cfg.Prefetcher
-	if pf == nil {
-		pf = prefetch.None{}
-	}
+	eng := paging.New[*proc](paging.Config{
+		Path:              cfg.Path,
+		CachePolicy:       cfg.CachePolicy,
+		CacheCapacity:     cfg.CacheCapacity,
+		CacheScanInterval: cfg.CacheScanInterval,
+		Prefetcher:        cfg.Prefetcher,
+		Device:            cfg.Device,
+		QueueDepth:        cfg.RemoteQueueDepth,
+		Seed:              cfg.Seed,
+	})
 	m := &Machine{
-		cfg:  cfg,
-		path: datapath.New(cfg.Path, rng.Fork(2)),
-		cache: pagecache.New(pagecache.Config{
-			Capacity:     cfg.CacheCapacity,
-			Policy:       cfg.CachePolicy,
-			ScanInterval: cfg.CacheScanInterval,
-		}),
-		dev:       dev,
-		pf:        pf,
+		cfg:       cfg,
+		eng:       eng,
 		byPID:     make(map[PID]*proc),
 		sched:     eventq.New(procLess),
-		inflight:  pagemap.New[sim.Time](0),
-		inflights: eventq.New(arrivalLess),
 		recording: true,
 	}
-	if cfg.RemoteQueueDepth > 1 {
-		if bd, ok := dev.(storage.BatchDevice); ok {
-			m.batchDev = bd
-			m.qdepth = cfg.RemoteQueueDepth
-		}
-	}
-	m.cResidentHits = m.Counters.Handle("resident_hits")
-	m.cFaults = m.Counters.Handle("faults")
-	m.cCacheHits = m.Counters.Handle("cache_hits")
-	m.cCacheMisses = m.Counters.Handle("cache_misses")
-	m.cInflightHits = m.Counters.Handle("inflight_hits")
-	m.cInflightAdds = m.Counters.Handle("inflight_adds")
-	m.cPrefetchIssued = m.Counters.Handle("prefetch_issued")
-	m.cSwapouts = m.Counters.Handle("swapouts")
+	m.cResidentHits = eng.Counters.Handle("resident_hits")
+	m.cFaults = eng.Counters.Handle("faults")
+	eng.OnInsert = func(p *proc) { p.res.Charged++ }
 	// Evictions cluster by process, so memoize the last pid→proc mapping
 	// instead of paying a map lookup per evicted page.
 	var lastEvictPID PID
 	var lastEvictProc *proc
-	m.cache.OnEvict = func(page core.PageID) {
+	eng.Cache().OnEvict = func(page core.PageID) {
 		pid := PID(int64(page) >> pidShift)
 		if lastEvictProc == nil || lastEvictPID != pid {
 			lastEvictProc = m.byPID[pid]
@@ -277,7 +206,7 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 				return
 			}
 		}
-		lastEvictProc.charged--
+		lastEvictProc.res.Charged--
 	}
 	for _, a := range apps {
 		if a.Gen == nil {
@@ -290,15 +219,16 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 			app:      a,
 			order:    len(m.procs),
 			accPerOp: int64(a.Gen.AccessesPerOp()),
-			resident: pagemap.New[*resEntry](int(a.LimitPages)),
+			res:      paging.NewResident(int(a.LimitPages)),
 		}
+		p.res.Limit = a.LimitPages
 		p.opLeft = p.accPerOp
 		preload := a.PreloadPages
 		if preload > a.LimitPages {
 			preload = a.LimitPages
 		}
 		for v := int64(0); v < preload; v++ {
-			m.insertResident(p, globalPage(a.PID, core.PageID(v)), 0)
+			m.eng.MapIn(p, p.res, int(a.PID), globalPage(a.PID, core.PageID(v)), 0)
 		}
 		m.procs = append(m.procs, p)
 		m.byPID[a.PID] = p
@@ -307,13 +237,23 @@ func NewMachine(cfg Config, apps []App) (*Machine, error) {
 }
 
 // Cache exposes the page cache for experiment accounting.
-func (m *Machine) Cache() *pagecache.Cache { return m.cache }
+func (m *Machine) Cache() *pagecache.Cache { return m.eng.Cache() }
 
 // Path exposes the data path for stage histograms.
-func (m *Machine) Path() *datapath.Path { return m.path }
+func (m *Machine) Path() *datapath.Path { return m.eng.Path() }
 
 // Device exposes the backing store.
-func (m *Machine) Device() storage.Device { return m.dev }
+func (m *Machine) Device() storage.Device { return m.eng.Device() }
+
+// Counters exposes the fault-path counter set (cache_hits, cache_misses,
+// inflight_hits, prefetch_issued, faults, resident_hits, swapouts, ...).
+func (m *Machine) Counters() *metrics.Counters { return &m.eng.Counters }
+
+// FaultLatency exposes the all-process swap-in latency distribution.
+func (m *Machine) FaultLatency() *metrics.Histogram { return &m.eng.FaultLatency }
+
+// AllocLatency exposes the per-miss page-allocation latency distribution.
+func (m *Machine) AllocLatency() *metrics.Histogram { return &m.eng.AllocLatency }
 
 // SetRecording toggles metric collection; warmup runs with recording off.
 // Turning recording on snapshots per-process clocks and cache counters so
@@ -326,9 +266,10 @@ func (m *Machine) SetRecording(on bool) {
 			p.faults0 = p.faults
 			p.ops0 = p.ops
 		}
-		m.cacheStats0 = m.cache.Stats()
+		m.cacheStats0 = m.eng.Cache().Stats()
 	}
 	m.recording = on
+	m.eng.SetRecording(on)
 }
 
 // ProcLatency reports the latency histogram of pid's swap-ins.
@@ -387,195 +328,14 @@ func (m *Machine) measuredMakespan() sim.Duration {
 	return max
 }
 
-// flushArrivals lands every in-flight prefetch that has completed by now.
-func (m *Machine) flushArrivals(now sim.Time) {
-	for m.inflights.Len() > 0 && m.inflights.Peek().at <= now {
-		a := m.inflights.Pop()
-		if at, ok := m.inflight.Get(a.page); ok && at == a.at {
-			m.inflight.Delete(a.page)
-			if m.cache.Insert(a.page, true, a.at) {
-				a.proc.charged++
-			}
-		}
-	}
-	m.cache.Tick(now)
-}
-
-// newResEntry takes a node off the free list, or allocates when it is empty.
-func (m *Machine) newResEntry(page core.PageID) *resEntry {
-	e := m.resFree
-	if e == nil {
-		return &resEntry{page: page}
-	}
-	m.resFree = e.next
-	e.page = page
-	e.prev, e.next = nil, nil
-	return e
-}
-
-// freeResEntry returns an unlinked node to the free list.
-func (m *Machine) freeResEntry(e *resEntry) {
-	e.prev = nil
-	e.next = m.resFree
-	m.resFree = e
-}
-
-// touchResident moves e to the front of p's LRU.
-func (p *proc) touchResident(e *resEntry) {
-	if p.lruHead == e {
-		return
-	}
-	// Unlink.
-	if e.prev != nil {
-		e.prev.next = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	}
-	if p.lruTail == e {
-		p.lruTail = e.prev
-	}
-	// Push front.
-	e.prev = nil
-	e.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = e
-	}
-	p.lruHead = e
-	if p.lruTail == nil {
-		p.lruTail = e
-	}
-}
-
-// insertResident maps a page into p, evicting (and swapping out) the LRU
-// page if the limit is exceeded. The page must not already be resident —
-// both call sites guarantee it: the fault path only reaches here after the
-// residency check missed (and nothing in between inserts), and preload maps
-// distinct pages into an empty set.
-func (m *Machine) insertResident(p *proc, page core.PageID, now sim.Time) {
-	e := m.newResEntry(page)
-	p.resident.Put(page, e)
-	e.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = e
-	}
-	p.lruHead = e
-	if p.lruTail == nil {
-		p.lruTail = e
-	}
-	// The cgroup charge covers both mapped pages and this process's share
-	// of the page cache. Under pressure, reclaim targets the page cache
-	// first (kswapd prefers cold cache pages over mapped ones) — consumed
-	// ghosts and stale unconsumed prefetches, which is where a flooding
-	// prefetcher churns its own pages — then falls back to evicting the
-	// process's LRU pages. Fresh prefetches get a 2ms grace so pressure
-	// cannot cancel a prefetch that is about to be consumed.
-	if over := int64(p.resident.Len()) + p.charged - p.app.LimitPages; over > 0 {
-		m.cache.ReclaimAged(int(over), 2*sim.Millisecond, now)
-	}
-	budget := p.app.LimitPages - p.charged
-	if floor := int64(16); budget < floor {
-		budget = floor
-	}
-	for int64(p.resident.Len()) > budget && p.lruTail != nil {
-		victim := p.lruTail
-		p.lruTail = victim.prev
-		if p.lruTail != nil {
-			p.lruTail.next = nil
-		} else {
-			p.lruHead = nil
-		}
-		p.resident.Delete(victim.page)
-		// Write-back to the backing store (asynchronous: occupies the
-		// device/fabric but nobody waits). Swap-out is slot-clustered, so
-		// it neither pays nor causes read-head seeks. On a batching device
-		// the victim joins the bounded dirty backlog instead of paying a
-		// submission per page.
-		if m.batchDev != nil {
-			m.wbPages = append(m.wbPages, victim.page)
-			m.wbDists = append(m.wbDists, 1)
-			if len(m.wbPages) >= m.qdepth {
-				m.flushWriteback(int(p.app.PID), now)
-			}
-		} else {
-			m.dev.Write(int(p.app.PID), now, victim.page, 1)
-		}
-		m.freeResEntry(victim)
-		if m.recording {
-			*m.cSwapouts++
-		}
-	}
-}
-
-// issuePrefetches fetches candidate pages into the cache asynchronously.
-// Prefetch I/O rides the same device model as demand fetches — occupying
-// queues and bandwidth — but nobody blocks on it. Linux batches read-ahead
-// pages onto the demand request's trip through the block layer, so no
-// per-page block-layer overhead is charged on either path; each page pays
-// only dispatch + device time.
-func (m *Machine) issuePrefetches(p *proc, cands []core.PageID, now sim.Time) {
-	if m.batchDev != nil {
-		m.issuePrefetchBatches(p, cands, now)
-		return
-	}
-	for _, c := range cands {
-		if p.resident.Contains(c) {
-			continue
-		}
-		if m.cache.Contains(c) {
-			continue
-		}
-		if m.inflight.Contains(c) {
-			continue
-		}
-		dist := int64(c - m.lastDevPage)
-		m.lastDevPage = c
-		done := m.dev.Read(int(p.app.PID), now, c, dist)
-		m.inflight.Put(c, done)
-		m.inflights.Push(arrival{page: c, at: done, proc: p})
-		if m.recording {
-			*m.cPrefetchIssued++
-		}
-	}
-}
-
-// issuePrefetchBatches is the doorbell path: the deduplicated candidates go
-// to the device in chunks of up to qdepth pages, so a prefetch window costs
-// one submission (and one fabric round-trip draw) per chunk instead of one
-// per page — the fan-out overlap the async remote engine exists for.
-func (m *Machine) issuePrefetchBatches(p *proc, cands []core.PageID, now sim.Time) {
-	m.batchPages = m.batchPages[:0]
-	m.batchDists = m.batchDists[:0]
-	for _, c := range cands {
-		if p.resident.Contains(c) || m.cache.Contains(c) || m.inflight.Contains(c) {
-			continue
-		}
-		m.batchPages = append(m.batchPages, c)
-		m.batchDists = append(m.batchDists, int64(c-m.lastDevPage))
-		m.lastDevPage = c
-	}
-	for lo := 0; lo < len(m.batchPages); lo += m.qdepth {
-		hi := min(lo+m.qdepth, len(m.batchPages))
-		m.batchDone = m.batchDev.ReadBatch(int(p.app.PID), now,
-			m.batchPages[lo:hi], m.batchDists[lo:hi], m.batchDone)
-		for i, c := range m.batchPages[lo:hi] {
-			done := m.batchDone[i]
-			m.inflight.Put(c, done)
-			m.inflights.Push(arrival{page: c, at: done, proc: p})
-			if m.recording {
-				*m.cPrefetchIssued++
-			}
-		}
-	}
-}
-
 // Step runs one access of process p and returns the swap-in latency paid
 // (0 for residency hits).
 func (m *Machine) step(p *proc) sim.Duration {
+	eng := m.eng
 	a := p.app.Gen.Next()
 	p.clock = p.clock.Add(a.Think)
 	now := p.clock
-	m.flushArrivals(now)
+	eng.FlushArrivals(now)
 	p.accesses++
 	if p.opLeft--; p.opLeft == 0 {
 		p.ops++
@@ -585,15 +345,15 @@ func (m *Machine) step(p *proc) sim.Duration {
 	page := globalPage(p.app.PID, a.Page)
 
 	// Resident: no fault, no cost beyond think time.
-	if e, ok := p.resident.Get(page); ok {
-		p.touchResident(e)
+	if p.res.Touch(page) {
 		if m.recording {
 			*m.cResidentHits++
 		}
 		return 0
 	}
 
-	// Swap-in fault.
+	// Swap-in fault: the shared engine serves it (cache hit, in-flight
+	// wait, or full miss through data path + device).
 	p.faults++
 	if m.recording {
 		*m.cFaults++
@@ -601,74 +361,17 @@ func (m *Machine) step(p *proc) sim.Duration {
 			p.faultTrace = append(p.faultTrace, a.Page)
 		}
 	}
-	var latency sim.Duration
-	miss := false
-
-	if hit, wasPre := m.cache.Lookup(page, now); hit {
-		latency = m.path.HitLatency()
-		if wasPre {
-			m.pf.OnPrefetchHit(p.app.PID)
-		}
-		if m.recording {
-			*m.cCacheHits++
-		}
-	} else if at, ok := m.inflight.Get(page); ok {
-		// The prefetch is on the wire: pay only the remaining time.
-		m.inflight.Delete(page)
-		wait := at.Sub(now)
-		if wait < 0 {
-			wait = 0
-		}
-		latency = m.path.HitLatency() + wait
-		m.pf.OnPrefetchHit(p.app.PID)
-		if m.recording {
-			*m.cInflightHits++
-			// An in-flight consumption is still a prefetch success for
-			// accuracy accounting (it was added and used).
-			*m.cInflightAdds++
-		}
-	} else {
-		// Full miss: data path overhead + device + page allocation.
-		miss = true
-		b := m.path.RequestOverhead()
-		dist := int64(page - m.lastDevPage)
-		m.lastDevPage = page
-		submit := now.Add(b.Total())
-		done := m.dev.Read(int(p.app.PID), submit, page, dist)
-		alloc := m.cache.AllocLatency()
-		latency = b.Total() + done.Sub(submit) + alloc
-		if m.recording {
-			*m.cCacheMisses++
-			m.AllocLatency.Observe(alloc)
-		}
-	}
-
+	latency, miss := eng.Fault(p.app.PID, int(p.app.PID), page, now)
 	if m.recording {
-		m.FaultLatency.Observe(latency)
 		p.Latency.Observe(latency)
 	}
 	p.clock = p.clock.Add(latency)
 
-	// Record the access and, on a miss, collect prefetch candidates. The
-	// prefetcher sees every swap-in (§4.1: cache look-ups are monitored,
-	// resident pages are not); candidate generation sits on the miss path
-	// like swapin_readahead.
-	m.candBuf = m.pf.OnAccess(p.app.PID, page, miss, m.candBuf[:0])
-	m.issuePrefetches(p, m.candBuf, p.clock)
-
-	// The faulted page becomes resident.
-	m.insertResident(p, page, p.clock)
+	// Record the access, collect and issue prefetch candidates on a miss,
+	// and map the faulted page in (evicting past the cgroup budget).
+	eng.OnAccess(p, p.res, p.app.PID, int(p.app.PID), page, miss, p.clock)
+	eng.MapIn(p, p.res, int(p.app.PID), page, p.clock)
 	return latency
-}
-
-// flushWriteback drains the eviction backlog as one doorbell.
-func (m *Machine) flushWriteback(cpu int, now sim.Time) {
-	if len(m.wbPages) == 0 {
-		return
-	}
-	m.batchDone = m.batchDev.WriteBatch(cpu, now, m.wbPages, m.wbDists, m.batchDone)
-	m.wbPages = m.wbPages[:0]
-	m.wbDists = m.wbDists[:0]
 }
 
 // Run advances the machine until every process has performed accesses
@@ -699,7 +402,5 @@ func (m *Machine) Run(accesses int64) {
 	}
 	// Drain any partially-filled writeback backlog so device accounting
 	// (and a Backed store's final image) covers every evicted page.
-	if m.batchDev != nil {
-		m.flushWriteback(0, m.MaxTime())
-	}
+	m.eng.FlushWriteback(0, m.MaxTime())
 }

@@ -93,11 +93,11 @@ func TestResidentSetNeverExceedsLimit(t *testing.T) {
 	}
 	for i := 0; i < 5000; i++ {
 		m.step(m.procs[0])
-		if got := m.procs[0].resident.Len(); got > 100 {
+		if got := m.procs[0].res.Len(); got > 100 {
 			t.Fatalf("resident set %d exceeds limit 100", got)
 		}
 	}
-	if m.Counters.Get("swapouts") == 0 {
+	if m.Counters().Get("swapouts") == 0 {
 		t.Fatal("no swap-outs recorded despite evictions")
 	}
 }
@@ -168,7 +168,7 @@ func TestInflightHitPaysRemainingTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Counters.Get("inflight_hits") == 0 {
+	if m.Counters().Get("inflight_hits") == 0 {
 		t.Skip("no in-flight hits at this parameterization")
 	}
 	if res.Latency.P99 > 50*sim.Microsecond {
@@ -348,7 +348,7 @@ func TestCgroupChargeInvariant(t *testing.T) {
 	for i := 0; i < 8000; i++ {
 		m.step(m.procs[0])
 		p := m.procs[0]
-		occupancy := int64(p.resident.Len()) + p.charged
+		occupancy := int64(p.res.Len()) + p.res.Charged
 		// The floor-16 backstop and the one-page insert give small slack.
 		if occupancy > p.app.LimitPages+32 {
 			t.Fatalf("step %d: occupancy %d far exceeds limit %d",
@@ -367,7 +367,7 @@ func TestChargeAccountingBalanced(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Run(5000)
-	if got, want := m.byPID[1].charged, int64(m.Cache().Len()); got != want {
+	if got, want := m.byPID[1].res.Charged, int64(m.Cache().Len()); got != want {
 		t.Fatalf("charged = %d, cache holds %d", got, want)
 	}
 }

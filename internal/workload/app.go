@@ -276,6 +276,16 @@ func Profiles() []Profile {
 	}
 }
 
+// Names reports the application model names in presentation order.
+func Names() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.AppName
+	}
+	return names
+}
+
 // ByName returns the profile with the given AppName.
 func ByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {

@@ -1,7 +1,18 @@
 // Package leap is a library reproduction of "Effectively Prefetching Remote
 // Memory with Leap" (Maruf & Chowdhury, USENIX ATC 2020).
 //
-// The public API has four layers:
+// The headline entry point is the Memory runtime: Open(opts...) fuses every
+// layer of the reproduction — the majority-trend predictor, the pluggable
+// prefetchers, the adaptive page cache with eager eviction, and the real
+// remote-memory substrate with its async doorbell-batched ticket engine —
+// into one byte-addressable paged memory. A miss on mem.ReadAt / WriteAt /
+// Get records into the predictor, issues the prefetch window asynchronously
+// to the real host (in-process or TCP), and accounts hits, accuracy and
+// coverage, exactly as the paper places Leap in the paging data path (§4).
+// Configure it with functional options: WithPrefetcher, WithRemoteHost,
+// WithCacheCapacity, WithQueueDepth, WithClock, WithSeed.
+//
+// Underneath, the layers stay individually usable:
 //
 //   - The predictor: NewPredictor gives direct access to the paper's
 //     majority-trend prefetching algorithm (Boyer–Moore majority vote over a
@@ -24,12 +35,18 @@
 //     ticket engine with doorbell-batched wire frames) with in-process and
 //     TCP transports, moving real bytes.
 //
+// The simulator and the Memory runtime share one fault-path core
+// (internal/paging), so a simulated run and a live run over the same trace
+// make identical prefetch decisions.
+//
 // Everything is deterministic given a seed; nothing sleeps. See DESIGN.md
 // for the system inventory and EXPERIMENTS.md for the paper-vs-measured
 // results; cmd/leapbench regenerates every figure and table.
 package leap
 
 import (
+	"fmt"
+
 	"leap/internal/core"
 	"leap/internal/datapath"
 	"leap/internal/pagecache"
@@ -211,13 +228,14 @@ func NewStrideWorkload(pages, stride int64, seed uint64) workload.Generator {
 }
 
 // NewAppWorkload instantiates one of the paper's application models:
-// "powergraph", "numpy", "voltdb", or "memcached".
-func NewAppWorkload(name string, seed uint64) (workload.Generator, bool) {
+// "powergraph", "numpy", "voltdb", or "memcached". An unknown name returns
+// a descriptive error listing the valid models.
+func NewAppWorkload(name string, seed uint64) (workload.Generator, error) {
 	p, ok := workload.ByName(name)
 	if !ok {
-		return nil, false
+		return nil, fmt.Errorf("leap: unknown app workload %q (have %v)", name, workload.Names())
 	}
-	return workload.NewApp(p, seed), true
+	return workload.NewApp(p, seed), nil
 }
 
 // RemotePageSize is the fixed page size of the remote-memory substrate.

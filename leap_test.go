@@ -1,6 +1,7 @@
 package leap
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -69,9 +70,9 @@ func TestSimulateStrideComparison(t *testing.T) {
 }
 
 func TestSimulateAppWorkload(t *testing.T) {
-	gen, ok := NewAppWorkload("voltdb", 3)
-	if !ok {
-		t.Fatal("voltdb workload missing")
+	gen, err := NewAppWorkload("voltdb", 3)
+	if err != nil {
+		t.Fatal(err)
 	}
 	res, err := Simulate(SimConfig{
 		System:           SystemDVMMLeap,
@@ -90,8 +91,10 @@ func TestSimulateAppWorkload(t *testing.T) {
 	if res.PerProc[0].OpsPerSec <= 0 {
 		t.Fatal("no throughput computed")
 	}
-	if _, ok := NewAppWorkload("nosuch", 1); ok {
+	if _, err := NewAppWorkload("nosuch", 1); err == nil {
 		t.Fatal("bogus app accepted")
+	} else if !strings.Contains(err.Error(), "powergraph") {
+		t.Fatalf("error %v does not list the valid names", err)
 	}
 }
 

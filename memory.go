@@ -1,0 +1,70 @@
+package leap
+
+import (
+	"leap/internal/runtime"
+	"leap/internal/sim"
+)
+
+// Memory is the byte-addressable remote-memory runtime: the paper's full
+// stack fused into one client object. Local memory is a bounded set of page
+// frames (the cgroup budget); everything beyond it lives on the remote
+// substrate (RemoteHost: rendezvous-placed, replicated slabs reached over
+// in-process or TCP transports). An access to a non-local page takes the
+// same fault path as the simulator — the internal/paging engine shared with
+// Simulate — so the majority-trend predictor watches the fault stream,
+// prefetch windows go out to the real host through the async ticket engine
+// (doorbell-batched wire frames), and the adaptive page cache decides
+// eviction, while real page images move underneath.
+//
+// Build one with Open; drive it with ReadAt / WriteAt / Get; read the
+// accounting with Stats. Memory is not safe for concurrent use.
+type Memory = runtime.Memory
+
+// MemoryStats aggregates a Memory's fault-path accounting (hits, misses,
+// accuracy, coverage, latency percentiles, host activity).
+type MemoryStats = runtime.Stats
+
+// Option configures Open.
+type Option = runtime.Option
+
+// Clock is a monotonically advancing virtual clock (zero value usable);
+// share one with a Memory via WithClock to interleave test events with
+// fault latencies deterministically.
+type Clock = sim.Clock
+
+// Open builds a Memory runtime. With no options it is the full Leap stack
+// of the paper over a private in-process remote-memory cluster: lean data
+// path, eager cache eviction, majority-trend prefetching, async
+// doorbell-batched remote I/O.
+func Open(opts ...Option) (*Memory, error) { return runtime.Open(opts...) }
+
+// WithPrefetcher selects the prefetching policy consulted on every fault
+// (default: the Leap majority-trend predictor). Build baselines with
+// NewPrefetcher("readahead"), NewPrefetcher("none"), etc.
+func WithPrefetcher(p Prefetcher) Option { return runtime.WithPrefetcher(p) }
+
+// WithRemoteHost runs the Memory over an existing host — typically one
+// dialed to TCP agents (cmd/leapagent). The caller keeps ownership: Close
+// flushes but does not close it. Without this option Open builds a private
+// three-agent in-process cluster with two-way replication.
+func WithRemoteHost(h *RemoteHost) Option { return runtime.WithRemoteHost(h) }
+
+// WithCacheCapacity sets the local memory budget in pages — the cgroup
+// limit resident frames plus the prefetch cache are charged against
+// (default 1024 pages = 4MB).
+func WithCacheCapacity(pages int) Option { return runtime.WithCacheCapacity(pages) }
+
+// WithQueueDepth bounds the async ticket engine's doorbell batches: up to
+// this many page operations ride one wire frame per agent, and eviction
+// writebacks accumulate behind a dirty backlog of the same bound (default
+// 8; 1 degenerates to one synchronous round trip per page).
+func WithQueueDepth(depth int) Option { return runtime.WithQueueDepth(depth) }
+
+// WithClock shares a virtual clock with the runtime (for virtual-time
+// tests: fault latencies are charged to it, so a test can interleave its
+// own events deterministically). Default: a private clock starting at 0.
+func WithClock(c *sim.Clock) Option { return runtime.WithClock(c) }
+
+// WithSeed seeds the latency models (fabric jitter, data-path stage draws).
+// Equal seeds and equal access sequences replay bit-identically.
+func WithSeed(seed uint64) Option { return runtime.WithSeed(seed) }

@@ -1,0 +1,173 @@
+package leap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"leap/internal/remote"
+	"leap/internal/sim"
+)
+
+// TestMemorySurvivesAgentCrashRepair drives a Memory client over a
+// four-agent cluster behind fault-injecting transports: an agent crashes
+// with its memory wiped mid-workload, reads fail over to replicas, repair
+// re-replicates onto survivors, the agent rejoins empty and is repaired
+// onto again — and every byte the client ever wrote stays readable and
+// correct throughout. This is the chaos-harness scenario of PR 2 run
+// against the unified runtime instead of the raw host.
+func TestMemorySurvivesAgentCrashRepair(t *testing.T) {
+	const agents = 4
+	const pages = 512
+	rng := sim.NewRNG(31)
+	agentObjs := make([]*remote.Agent, agents)
+	faults := make([]*remote.FaultTransport, agents)
+	transports := make([]RemoteTransport, agents)
+	for i := range transports {
+		agentObjs[i] = remote.NewAgent(64, 0)
+		faults[i] = remote.NewFaultTransport(i, remote.NewInProc(agentObjs[i]), rng.Fork(uint64(i)))
+		transports[i] = faults[i]
+	}
+	host, err := NewRemoteHost(RemoteHostConfig{
+		SlabPages: 64, Replicas: 2, QueueDepth: 8, Seed: 9,
+	}, transports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	mem, err := Open(WithRemoteHost(host), WithSeed(13), WithCacheCapacity(64), WithQueueDepth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, RemotePageSize)
+	got := make([]byte, RemotePageSize)
+	writeAll := func(from, to PageID) {
+		for pg := from; pg < to; pg++ {
+			fillPage(pg, buf)
+			if _, err := mem.WriteAt(buf, int64(pg)*RemotePageSize); err != nil {
+				t.Fatalf("write page %d: %v", pg, err)
+			}
+		}
+	}
+	verifyAll := func(phase string, upto PageID) {
+		for pg := PageID(0); pg < upto; pg++ {
+			fillPage(pg, buf)
+			if _, err := mem.ReadAt(got, int64(pg)*RemotePageSize); err != nil {
+				t.Fatalf("%s: read page %d: %v", phase, pg, err)
+			}
+			if !bytes.Equal(got, buf) {
+				t.Fatalf("%s: page %d corrupted", phase, pg)
+			}
+		}
+	}
+
+	// Phase 1: working set far past the local budget, so real images land
+	// on the cluster; verify through the fault path.
+	writeAll(0, pages)
+	verifyAll("healthy", pages)
+
+	// Phase 2: crash agent 1 — process gone, memory wiped. The client must
+	// keep running on replicas (some reads fail over).
+	faults[1].SetMode(remote.FaultMode{Crashed: true})
+	agentObjs[1].Reset()
+	verifyAll("during crash", pages)
+	if st := host.Stats(); st.Failovers == 0 {
+		t.Fatalf("no failovers recorded across a dead agent: %+v", st)
+	}
+
+	// Phase 3: mark it failed and repair — replication is restored on the
+	// survivors; the client keeps writing new pages meanwhile.
+	if err := host.MarkFailed(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.RepairSlabs(); err != nil {
+		t.Fatal(err)
+	}
+	if n := host.UnderReplicated(); n != 0 {
+		t.Fatalf("repair left %d slabs under-replicated", n)
+	}
+	writeAll(pages, pages+128)
+	verifyAll("post-repair", pages+128)
+
+	// Phase 4: the agent restarts empty and rejoins; repair re-replicates
+	// its rendezvous share back onto it.
+	faults[1].SetMode(remote.FaultMode{})
+	if err := host.MarkRecovered(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.RepairSlabs(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll("after rejoin", pages+128)
+	if err := mem.Flush(); err != nil {
+		t.Fatalf("flush after chaos: %v", err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatalf("close after chaos: %v", err)
+	}
+}
+
+// TestMemoryAllReplicasDown pins the failure mode the runtime must report
+// rather than mask: when every replica of a page's slab is unreachable, a
+// demand read surfaces an error instead of corrupt bytes, and recovery
+// restores service.
+func TestMemoryAllReplicasDown(t *testing.T) {
+	const agents = 2 // replicas == agents: killing both kills every slab copy
+	rng := sim.NewRNG(5)
+	faults := make([]*remote.FaultTransport, agents)
+	transports := make([]RemoteTransport, agents)
+	for i := range transports {
+		faults[i] = remote.NewFaultTransport(i, remote.NewInProc(remote.NewAgent(64, 0)), rng.Fork(uint64(i)))
+		transports[i] = faults[i]
+	}
+	host, err := NewRemoteHost(RemoteHostConfig{SlabPages: 64, Replicas: 2, Seed: 3}, transports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	mem, err := Open(WithRemoteHost(host), WithSeed(1), WithCacheCapacity(16), WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+
+	buf := make([]byte, RemotePageSize)
+	for pg := PageID(0); pg < 256; pg++ {
+		fillPage(pg, buf)
+		if _, err := mem.WriteAt(buf, int64(pg)*RemotePageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range faults {
+		faults[i].SetMode(remote.FaultMode{Partitioned: true})
+	}
+	// Some evicted page must now be unreachable on demand.
+	var sawErr bool
+	for pg := PageID(0); pg < 256 && !sawErr; pg++ {
+		if _, err := mem.Get(pg); err != nil {
+			if !errors.Is(err, remote.ErrInjected) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("total partition produced no read error")
+	}
+	// Heal: service resumes with intact data (partition kept agent memory).
+	for i := range faults {
+		faults[i].SetMode(remote.FaultMode{})
+	}
+	got := make([]byte, RemotePageSize)
+	for pg := PageID(0); pg < 256; pg++ {
+		fillPage(pg, buf)
+		if _, err := mem.ReadAt(got, int64(pg)*RemotePageSize); err != nil {
+			t.Fatalf("post-heal read page %d: %v", pg, err)
+		}
+		if !bytes.Equal(got, buf) {
+			t.Fatalf("post-heal page %d corrupted", pg)
+		}
+	}
+}
