@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check smoke runtime-smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check smoke runtime-smoke concurrency-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -44,6 +44,16 @@ runtime-smoke:
 	$(GO) run ./cmd/leapbench -scale small -fig runtime | grep -v 'done in' > /tmp/leap_runtime_b.txt
 	diff /tmp/leap_runtime_a.txt /tmp/leap_runtime_b.txt
 	$(GO) test -race . ./internal/paging/...
+
+# Concurrency smoke: the multi-client figure must be byte-identical across
+# two runs (its goroutine scaling is modeled from one deterministic pass),
+# and the concurrent runtime must survive the race-enabled stress, property
+# and chaos suites plus the 1-goroutine parity gate.
+concurrency-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -v 'done in' > /tmp/leap_conc_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -v 'done in' > /tmp/leap_conc_b.txt
+	diff /tmp/leap_conc_a.txt /tmp/leap_conc_b.txt
+	$(GO) test -race -run 'TestMemoryConcurrent|TestMemoryReadYourWrites|TestConcurrencyOne' .
 
 # Regenerate every figure and table at full scale.
 figures:

@@ -308,6 +308,39 @@ func BenchmarkMemoryGetHit(b *testing.B) {
 	}
 }
 
+func BenchmarkMemoryConcurrentGet(b *testing.B) {
+	// The concurrent hit path: parallel goroutines, each with its own
+	// Client handle, Get-ing resident pages. Pays one lock round trip and
+	// one 4KB copy per op — and must stay allocation-free, like the
+	// single-threaded hit path.
+	mem, err := Open(WithSeed(42), WithCacheCapacity(256), WithQueueDepth(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mem.Close()
+	buf := make([]byte, RemotePageSize)
+	const hot = 64 // well inside the budget: every Get below is a hit
+	for pg := int64(0); pg < hot; pg++ {
+		if _, err := mem.WriteAt(buf, pg*RemotePageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := mem.Client(0)
+		i := 0
+		for pb.Next() {
+			data, err := c.Get(PageID(i % hot))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = data
+			i++
+		}
+	})
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// End-to-end simulator speed: accesses simulated per wall second.
 	gen, _ := NewAppWorkload("powergraph", 42)

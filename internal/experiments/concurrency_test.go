@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConcurrencyDeterministic is the acceptance gate for `leapbench -fig
+// concurrency`: byte-identical output for the same seed across repeated
+// runs and across -parallel settings — the real-goroutine nondeterminism
+// lives in the stress suites, never in the figure.
+func TestConcurrencyDeterministic(t *testing.T) {
+	a, ok := RunFigure("concurrency", Small, 42)
+	if !ok {
+		t.Fatal("concurrency figure not registered")
+	}
+	b, _ := RunFigure("concurrency", Small, 42)
+	if a.Output != b.Output {
+		t.Fatalf("same-seed concurrency runs diverged:\n%s\n---\n%s", a.Output, b.Output)
+	}
+	names := []string{"concurrency", "1"}
+	seq := RunAll(names, Small, 42, 1)
+	par := RunAll(names, Small, 42, 4)
+	for i := range names {
+		if seq[i].Output != par[i].Output {
+			t.Fatalf("figure %s: parallel output differs from sequential", names[i])
+		}
+	}
+	if seq[0].Output != a.Output {
+		t.Fatal("runner output differs from direct RunFigure output")
+	}
+	if !strings.Contains(a.Output, "isolation") {
+		t.Fatal("figure output lost the §4.1 isolation block")
+	}
+}
+
+// TestConcurrencyThroughputMonotonicInGoroutines asserts the acceptance
+// criterion: at queue depth ≥ 2, modeled throughput is monotonically
+// non-decreasing from 1 through 4 (and on to 8) goroutines at every client
+// count, and multi-goroutine scaling actually pays at the widest cell.
+func TestConcurrencyThroughputMonotonicInGoroutines(t *testing.T) {
+	r := Concurrency(Small, 42)
+	wantRows := len(concurrencyDepths) * len(concurrencyClients) * len(concurrencyGoroutines)
+	if len(r.Rows) != wantRows {
+		t.Fatalf("sweep has %d rows, want %d", len(r.Rows), wantRows)
+	}
+	for _, depth := range concurrencyDepths {
+		for _, clients := range concurrencyClients {
+			prev := -1.0
+			for _, g := range concurrencyGoroutines {
+				row, ok := r.Row(depth, clients, g)
+				if !ok {
+					t.Fatalf("missing grid point (%d, %d, %d)", depth, clients, g)
+				}
+				if row.KopsPerSec < prev {
+					t.Fatalf("depth=%d clients=%d: throughput fell at %d goroutines: %.1f < %.1f\n%s",
+						depth, clients, g, row.KopsPerSec, prev, r)
+				}
+				prev = row.KopsPerSec
+				if row.SerialFrac <= 0 || row.SerialFrac > 1 {
+					t.Fatalf("depth=%d clients=%d: serial fraction %.3f out of range",
+						depth, clients, row.SerialFrac)
+				}
+			}
+			if depth >= 2 {
+				if gain := r.GoroutineGain(depth, clients); gain < 1.25 {
+					t.Fatalf("depth=%d clients=%d: goroutine scaling only %.2f× — overlap is not paying",
+						depth, clients, gain)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrencyIsolationWins pins the §4.1 runtime replay: on the
+// interleaved multi-client load, per-client predictors must strictly beat
+// one shared predictor on hit ratio.
+func TestConcurrencyIsolationWins(t *testing.T) {
+	r := Concurrency(Small, 42)
+	if r.IsolatedHitRatio <= r.SharedHitRatio {
+		t.Fatalf("per-client predictors %.4f not strictly above shared predictor %.4f at %d clients",
+			r.IsolatedHitRatio, r.SharedHitRatio, r.IsolationClients)
+	}
+}

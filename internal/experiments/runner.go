@@ -58,6 +58,8 @@ var figureRegistry = []figureRunner{
 		func(s Scale, seed uint64) string { return fmt.Sprint(Scaling(s, seed)) }},
 	{"runtime", "end-to-end leap.Memory: prefetchers over a live in-proc remote cluster",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Runtime(s, seed)) }},
+	{"concurrency", "multi-client leap.Memory: modeled throughput over goroutines × clients",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Concurrency(s, seed)) }},
 	{"ablations", "design-choice sweeps: majority vote, windows, eviction, isolation",
 		func(s Scale, seed uint64) string {
 			parts := []string{

@@ -71,6 +71,7 @@ table1      majority-trend prefetching contrasted with prior prefetcher classes
 resilience  chaos harness: scripted faults, failover latency, repair traffic
 scaling     async ticket engine throughput over agents × queue-depth grid
 runtime     end-to-end leap.Memory: prefetchers over a live in-proc remote cluster
+concurrency multi-client leap.Memory: modeled throughput over goroutines × clients
 ablations   design-choice sweeps: majority vote, windows, eviction, isolation
 `
 	if got := Describe(); got != want {

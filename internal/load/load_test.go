@@ -1,0 +1,116 @@
+package load
+
+import (
+	"testing"
+
+	"leap/internal/runtime"
+)
+
+func openMem(t testing.TB, opts ...runtime.Option) *runtime.Memory {
+	t.Helper()
+	mem, err := runtime.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mem.Close() })
+	return mem
+}
+
+// TestSequentialDeterministic replays one seeded run twice: stats, final
+// oracle and final image must match exactly.
+func TestSequentialDeterministic(t *testing.T) {
+	cfg := Config{Clients: 3, OpsPerClient: 400, PagesPerClient: 64, Seed: 7}
+	run := func() (runtime.Stats, []*Stream) {
+		mem := openMem(t, runtime.WithSeed(5), runtime.WithCacheCapacity(96))
+		res, err := Sequential(mem, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyFinal(mem, cfg, res.Streams); err != nil {
+			t.Fatal(err)
+		}
+		return mem.Stats(), res.Streams
+	}
+	sa, oa := run()
+	sb, ob := run()
+	if sa != sb {
+		t.Fatalf("stats diverged across replays:\n%+v\n%+v", sa, sb)
+	}
+	for i := range oa {
+		av, bv := oa[i].Versions(), ob[i].Versions()
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("client %d oracle diverged at slot %d: %d vs %d", i, j, av[j], bv[j])
+			}
+		}
+	}
+}
+
+// TestDriveMatchesOracle runs the concurrent mode and checks the final
+// image against the per-client oracles, and that the per-client operation
+// streams are identical to Sequential's (interleaving is the only degree
+// of freedom).
+func TestDriveMatchesOracle(t *testing.T) {
+	cfg := Config{Clients: 4, Goroutines: 4, OpsPerClient: 300, PagesPerClient: 48, Seed: 11}
+	mem := openMem(t, runtime.WithSeed(3), runtime.WithCacheCapacity(64))
+	res, err := Drive(mem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFinal(mem, cfg, res.Streams); err != nil {
+		t.Fatal(err)
+	}
+
+	seqMem := openMem(t, runtime.WithSeed(3), runtime.WithCacheCapacity(64))
+	seqRes, err := Sequential(seqMem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Streams {
+		cv, sv := res.Streams[i].Versions(), seqRes.Streams[i].Versions()
+		for j := range cv {
+			if cv[j] != sv[j] {
+				t.Fatalf("client %d: Drive and Sequential oracles diverged at slot %d", i, j)
+			}
+		}
+	}
+}
+
+// TestMeasureModel pins the closed-loop model's structure: determinism
+// across replays, monotone non-decreasing throughput in goroutines, and a
+// serial fraction in (0, 1].
+func TestMeasureModel(t *testing.T) {
+	cfg := Config{Clients: 2, OpsPerClient: 500, PagesPerClient: 128, Seed: 21}
+	measure := func() Measurement {
+		mem := openMem(t, runtime.WithSeed(9), runtime.WithCacheCapacity(64), runtime.WithQueueDepth(8))
+		ms, err := Measure(mem, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	a := measure()
+	if b := measure(); a != b {
+		t.Fatalf("measurement diverged across replays:\n%+v\n%+v", a, b)
+	}
+	if a.Faults == 0 || a.Total <= 0 || a.Serial <= 0 || a.Serial > a.Total {
+		t.Fatalf("degenerate measurement: %+v", a)
+	}
+	prev := 0.0
+	for g := 1; g <= 16; g *= 2 {
+		th := a.Throughput(g)
+		if th < prev {
+			t.Fatalf("throughput decreased at g=%d: %f < %f", g, th, prev)
+		}
+		prev = th
+	}
+	if f := a.SerialFraction(); f <= 0 || f > 1 {
+		t.Fatalf("serial fraction %f out of range", f)
+	}
+}

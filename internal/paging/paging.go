@@ -96,6 +96,13 @@ type Engine[O any] struct {
 	inflight  *pagemap.Map[sim.Time]
 	inflights *eventq.Heap[arrival[O]]
 
+	// blocked holds pages a concurrent owner is demand-fetching outside its
+	// serializing lock (the runtime's single-flight window): candidate
+	// generation must not re-issue them as prefetches, or the landed
+	// prefetch would collide with the demand page's map-in. Empty — and
+	// free — for single-threaded owners like the simulator.
+	blocked *pagemap.Map[struct{}]
+
 	// Batched submission (QueueDepth > 1 on a BatchDevice): prefetch
 	// fan-out goes through batchDev in chunks of qdepth, and evicted pages
 	// accumulate in the writeback backlog until it reaches qdepth.
@@ -130,6 +137,13 @@ type Engine[O any] struct {
 	// MapIn, before its writeback is priced — the hook a byte-moving
 	// runtime uses to write real dirty page images back.
 	OnEvict func(O, core.PageID)
+
+	// LastFaultSerial is the CPU-serial share of the most recent Fault's
+	// latency: the part spent traversing the data path and cache under the
+	// owner's lock (lookup cost, request overhead, page allocation), as
+	// opposed to waitable device/wire time that concurrent faults overlap.
+	// The closed-loop concurrency model (internal/load) reads it per op.
+	LastFaultSerial sim.Duration
 
 	// Global metrics.
 	FaultLatency metrics.Histogram // all swap-in faults, all owners
@@ -169,6 +183,7 @@ func New[O any](cfg Config) *Engine[O] {
 		pf:        pf,
 		inflight:  pagemap.New[sim.Time](0),
 		inflights: eventq.New(arrivalLess[O]),
+		blocked:   pagemap.New[struct{}](0),
 		recording: true,
 	}
 	if cfg.QueueDepth > 1 {
@@ -228,6 +243,7 @@ func (e *Engine[O]) FlushArrivals(now sim.Time) {
 func (e *Engine[O]) Fault(pid prefetch.PID, cpu int, page core.PageID, now sim.Time) (latency sim.Duration, miss bool) {
 	if hit, wasPre := e.cache.Lookup(page, now); hit {
 		latency = e.path.HitLatency()
+		e.LastFaultSerial = latency
 		if wasPre {
 			e.pf.OnPrefetchHit(pid)
 		}
@@ -241,7 +257,9 @@ func (e *Engine[O]) Fault(pid prefetch.PID, cpu int, page core.PageID, now sim.T
 		if wait < 0 {
 			wait = 0
 		}
-		latency = e.path.HitLatency() + wait
+		hit := e.path.HitLatency()
+		latency = hit + wait
+		e.LastFaultSerial = hit
 		e.pf.OnPrefetchHit(pid)
 		if e.recording {
 			*e.cInflightHits++
@@ -259,6 +277,7 @@ func (e *Engine[O]) Fault(pid prefetch.PID, cpu int, page core.PageID, now sim.T
 		done := e.dev.Read(cpu, submit, page, dist)
 		alloc := e.cache.AllocLatency()
 		latency = b.Total() + done.Sub(submit) + alloc
+		e.LastFaultSerial = b.Total() + alloc
 		if e.recording {
 			*e.cCacheMisses++
 			e.AllocLatency.Observe(alloc)
@@ -301,6 +320,9 @@ func (e *Engine[O]) issuePrefetches(o O, res *Resident, cpu int, cands []core.Pa
 		if e.inflight.Contains(c) {
 			continue
 		}
+		if e.blocked.Len() > 0 && e.blocked.Contains(c) {
+			continue
+		}
 		dist := int64(c - e.lastDevPage)
 		e.lastDevPage = c
 		done := e.dev.Read(cpu, now, c, dist)
@@ -329,6 +351,9 @@ func (e *Engine[O]) issuePrefetchBatches(o O, res *Resident, cpu int, cands []co
 		if res.Contains(c) || e.cache.Contains(c) || e.inflight.Contains(c) {
 			continue
 		}
+		if e.blocked.Len() > 0 && e.blocked.Contains(c) {
+			continue
+		}
 		e.batchPages = append(e.batchPages, c)
 		e.batchDists = append(e.batchDists, int64(c-e.lastDevPage))
 		e.lastDevPage = c
@@ -350,6 +375,16 @@ func (e *Engine[O]) issuePrefetchBatches(o O, res *Resident, cpu int, cands []co
 		e.OnIssue(o, e.batchPages)
 	}
 }
+
+// BlockPrefetch marks page as being demand-fetched outside the owner's
+// serializing lock: until UnblockPrefetch, candidate generation skips it, so
+// a concurrent fault cannot race a prefetch of the same page against the
+// demand fetch's map-in. Single-threaded owners never populate the set, so
+// the dedup fast path is unaffected.
+func (e *Engine[O]) BlockPrefetch(page core.PageID) { e.blocked.Put(page, struct{}{}) }
+
+// UnblockPrefetch ends a BlockPrefetch window.
+func (e *Engine[O]) UnblockPrefetch(page core.PageID) { e.blocked.Delete(page) }
 
 // CancelPrefetch forgets an in-flight prefetch of page (its heap entry
 // becomes a stale no-op), so a byte-moving runtime can abandon a prefetch

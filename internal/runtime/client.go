@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"leap/internal/core"
+	"leap/internal/prefetch"
+	"leap/internal/remote"
+)
+
+// Client is a handle binding one logical client — the paper's "process" —
+// to a shared Memory. Leap §4.1 splits the fault stream per PID so one
+// process's interleaved pattern cannot pollute another's trend detection;
+// Client is that split at the runtime surface: every operation through a
+// Client feeds the predictor owned by its id (created on first fault),
+// while the page cache, the residency budget and the remote host stay
+// shared across all clients, exactly as processes share a kernel.
+//
+// Handles are cheap and independent: create one per goroutine with
+// Memory.Client — several handles may carry the same id, and they then
+// share that id's predictor. A single handle is not safe for concurrent
+// use (Get returns a buffer owned by the handle); the Memory underneath
+// serializes all of them. Client id 0 shares its predictor with the
+// Memory's own ReadAt/WriteAt/Get, which run as client 0.
+type Client struct {
+	m   *Memory
+	pid prefetch.PID
+	buf []byte
+}
+
+// Client returns a new handle for logical client id (negative ids are
+// clamped to 0). See Client for the isolation and sharing semantics.
+func (m *Memory) Client(id int) *Client {
+	if id < 0 {
+		id = 0
+	}
+	return &Client{m: m, pid: prefetch.PID(id), buf: make([]byte, remote.PageSize)}
+}
+
+// ID reports the logical client id this handle feeds.
+func (c *Client) ID() int { return int(c.pid) }
+
+// Memory reports the shared runtime underneath the handle.
+func (c *Client) Memory() *Memory { return c.m }
+
+// ReadAt implements io.ReaderAt over the shared paged address space,
+// recording the faults with this client's predictor.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) { return c.m.readAt(c.pid, p, off) }
+
+// WriteAt implements io.WriterAt over the shared paged address space,
+// recording the faults with this client's predictor.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) { return c.m.writeAt(c.pid, p, off) }
+
+// Get faults page pg in (prefetching around it, driven by this client's
+// predictor) and returns its 4KB image. The returned slice is owned by the
+// handle and reused by its next Get — copy it to retain; the copy is made
+// under the fault-path lock, so unlike Memory.Get the bytes are stable
+// under concurrency.
+func (c *Client) Get(pg core.PageID) ([]byte, error) {
+	if err := c.m.getInto(c.pid, pg, c.buf); err != nil {
+		return nil, err
+	}
+	return c.buf, nil
+}
+
+// PredictorStats reports this client's predictor statistics, when the
+// Memory runs the Leap prefetcher (ok is false otherwise, or before the
+// client's first fault created its predictor).
+func (c *Client) PredictorStats() (st core.Stats, ok bool) {
+	lp, isLeap := c.m.eng.Prefetcher().(*prefetch.Leap)
+	if !isLeap {
+		return core.Stats{}, false
+	}
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	st, ok = lp.ProcessStats()[c.pid]
+	return st, ok
+}

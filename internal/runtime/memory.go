@@ -6,6 +6,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"leap/internal/core"
 	"leap/internal/datapath"
@@ -19,7 +20,7 @@ import (
 )
 
 // Memory is the byte-addressable remote-memory runtime: the paper's full
-// stack fused into one client object. Local memory is a bounded set of page
+// stack fused into one object. Local memory is a bounded set of page
 // frames (the cgroup budget); everything beyond it lives on the remote
 // substrate (RemoteHost: rendezvous-placed, replicated slabs reached over
 // in-process or TCP transports). An access to a non-local page takes the
@@ -33,8 +34,26 @@ import (
 // latency to the runtime's clock (WithClock shares it), so hit ratios,
 // latency percentiles and prefetch accuracy are reproducible bit-for-bit
 // from the options — while the bytes, placement, replication and failover
-// are real. Memory is not safe for concurrent use.
+// are real.
+//
+// Memory is safe for concurrent use: ReadAt, WriteAt, Get, Flush and Stats
+// may be called from arbitrary goroutines. One mutex serializes the fault
+// path (predictor, cache, residency, clock); a full miss drops the lock for
+// the remote fetch when WithConcurrency allows, registering a single-flight
+// entry so concurrent faults on the same page wait for one fetch while
+// faults on other pages proceed in parallel. The paper's multi-process
+// deployment (§4.1) maps onto Client handles: each logical client id gets
+// its own predictor over its own fault stream, while all clients share the
+// page cache, the residency budget and the remote host. Two caveats: the
+// slice returned by Memory.Get aliases the live frame table and is safe
+// only for single-goroutine use (Client.Get copies instead), and a clock
+// shared via WithClock must not be touched while operations are in flight.
 type Memory struct {
+	// mu serializes the fault path: engine, residency, frame table, clock.
+	// It is dropped across single-flight demand fetches (see fetchDemand)
+	// and never held across a Client-visible return.
+	mu sync.Mutex
+
 	eng  *paging.Engine[*Memory]
 	res  *paging.Resident
 	host *remote.Host
@@ -43,6 +62,11 @@ type Memory struct {
 	ownHost bool
 	clock   *sim.Clock
 	qdepth  int
+	// conc is the WithConcurrency bound: the number of demand-miss fetches
+	// allowed to overlap outside the lock. conc <= 1 keeps every fetch
+	// under the lock — the strictly serialized PR-4 execution order.
+	conc     int
+	fetching int // demand fetches currently running unlocked
 
 	// frames holds the real bytes of every local page: resident pages plus
 	// prefetched pages parked in the cache and in flight.
@@ -52,10 +76,14 @@ type Memory struct {
 	// queued in the host's dirty buffer): only those are fetched from the
 	// host; everything else reads as zeros without touching the wire.
 	written *pagemap.Map[struct{}]
-	// faulting is the page currently traversing the fault path: the eager
-	// cache policy frees its cache entry mid-fault (the page table takes
-	// ownership), and the eviction callback must not drop its frame.
-	faulting core.PageID
+	// faulting is the set of pages currently traversing the fault path: the
+	// eager cache policy frees their cache entries mid-fault (the page
+	// table takes ownership), and the eviction callback must not drop their
+	// frames. More than one entry only under concurrent faults.
+	faulting *pagemap.Map[struct{}]
+	// demand is the single-flight table: a page being demand-fetched with
+	// the lock dropped maps to the entry concurrent faulters wait on.
+	demand *pagemap.Map[*demandFetch]
 
 	tickets     []*remote.Ticket
 	ticketPages []core.PageID
@@ -63,6 +91,12 @@ type Memory struct {
 	// err is the first unrecoverable store failure (a writeback no replica
 	// accepted); every subsequent operation reports it.
 	err error
+
+	// lastLatency/lastSerial snapshot the most recent fault's total and
+	// CPU-serial latency for the closed-loop concurrency model (LastFault);
+	// meaningful only when one goroutine drives the Memory.
+	lastLatency sim.Duration
+	lastSerial  sim.Duration
 
 	// cacheStats0 snapshots cache counters at measurement start, so
 	// accuracy/coverage cover only the recorded phase (mirrors the
@@ -72,6 +106,13 @@ type Memory struct {
 	cAccesses     *int64
 	cFaults       *int64
 	cResidentHits *int64
+	cDemandWaits  *int64
+}
+
+// demandFetch is one single-flight demand read in progress with the lock
+// dropped; done closes once the page is mapped in (or the fetch failed).
+type demandFetch struct {
+	done chan struct{}
 }
 
 // frame is one 4KB local page frame. Frames are pooled; data stays at
@@ -82,12 +123,17 @@ type frame struct {
 	next  *frame // free list
 }
 
+// DefaultConcurrency is the default WithConcurrency bound: how many
+// demand-miss fetches may overlap outside the fault-path lock.
+const DefaultConcurrency = 8
+
 // memOptions collects Open's functional options.
 type memOptions struct {
 	pf         prefetch.Prefetcher
 	host       *remote.Host
 	capacity   int
 	queueDepth int
+	conc       int
 	clock      *sim.Clock
 	seed       uint64
 	agents     int
@@ -119,6 +165,14 @@ func WithCacheCapacity(pages int) Option { return func(o *memOptions) { o.capaci
 // 8; 1 degenerates to one synchronous round trip per page).
 func WithQueueDepth(depth int) Option { return func(o *memOptions) { o.queueDepth = depth } }
 
+// WithConcurrency bounds how many demand-miss fetches may run outside the
+// fault-path lock at once (default DefaultConcurrency). Size it to the
+// number of goroutines expected to drive the Memory. 1 pins every fetch
+// under the lock — the fault path becomes strictly serialized, executing
+// exactly like the pre-concurrency runtime; a single-goroutine caller makes
+// identical decisions at every setting.
+func WithConcurrency(n int) Option { return func(o *memOptions) { o.conc = n } }
+
 // WithClock shares a virtual clock with the runtime (for virtual-time
 // tests: fault latencies are charged to it, so a test can interleave its
 // own events deterministically). Default: a private clock starting at 0.
@@ -136,6 +190,7 @@ func Open(opts ...Option) (*Memory, error) {
 	o := memOptions{
 		capacity:   1024,
 		queueDepth: remote.DefaultQueueDepth,
+		conc:       DefaultConcurrency,
 		seed:       42,
 		agents:     3,
 		slabPages:  1024,
@@ -149,12 +204,17 @@ func Open(opts ...Option) (*Memory, error) {
 	if o.queueDepth <= 0 {
 		o.queueDepth = 1
 	}
+	if o.conc <= 0 {
+		o.conc = DefaultConcurrency
+	}
 	m := &Memory{
 		clock:    o.clock,
 		qdepth:   o.queueDepth,
+		conc:     o.conc,
 		frames:   pagemap.New[*frame](o.capacity),
 		written:  pagemap.New[struct{}](0),
-		faulting: -1,
+		faulting: pagemap.New[struct{}](0),
+		demand:   pagemap.New[*demandFetch](0),
 	}
 	if m.clock == nil {
 		m.clock = &sim.Clock{}
@@ -201,28 +261,50 @@ func Open(opts ...Option) (*Memory, error) {
 	m.cAccesses = m.eng.Counters.Handle("accesses")
 	m.cFaults = m.eng.Counters.Handle("faults")
 	m.cResidentHits = m.eng.Counters.Handle("resident_hits")
+	m.cDemandWaits = m.eng.Counters.Handle("demand_waits")
 	return m, nil
 }
 
 // Now reports the runtime's virtual time.
-func (m *Memory) Now() sim.Time { return m.clock.Now() }
+func (m *Memory) Now() sim.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock.Now()
+}
+
+// LastFault reports the virtual-time latency of the most recent fault —
+// total, and the CPU-serial share that cannot overlap other goroutines'
+// faults (data-path traversal, cache work; the rest is waitable wire time).
+// A resident hit reports (0, 0). Meaningful only while a single goroutine
+// drives the Memory: the closed-loop concurrency model (internal/load)
+// reads it per operation.
+func (m *Memory) LastFault() (total, serial sim.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastLatency, m.lastSerial
+}
 
 // SetRecording toggles metric collection — populate/warmup phases run with
 // recording off, exactly like the simulator's warmup. Turning recording on
 // snapshots cache counters so Stats covers only the measured phase. Bytes
 // always move; only accounting pauses.
 func (m *Memory) SetRecording(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if on && !m.eng.Recording() {
 		m.cacheStats0 = m.eng.Cache().Stats()
 	}
 	m.eng.SetRecording(on)
 }
 
-// Host exposes the remote substrate (stats, repair, rebalance hooks).
+// Host exposes the remote substrate (stats, repair, rebalance hooks). The
+// Host is itself safe for concurrent use.
 func (m *Memory) Host() *remote.Host { return m.host }
 
-// Prefetcher exposes the configured prefetcher (e.g. to read per-process
-// predictor statistics off a *prefetch.Leap).
+// Prefetcher exposes the configured prefetcher (e.g. to read per-client
+// predictor statistics off a *prefetch.Leap). Prefetcher state is guarded
+// by the runtime's fault-path lock: inspect it only while no operations are
+// in flight.
 func (m *Memory) Prefetcher() prefetch.Prefetcher { return m.eng.Prefetcher() }
 
 // newFrame takes a frame off the free list, or allocates one.
@@ -253,7 +335,7 @@ func zeroFrame(f *frame) {
 // unless the page is (or is becoming) resident.
 func (m *Memory) cacheEvicted(page core.PageID) {
 	m.res.Charged--
-	if page == m.faulting || m.res.Contains(page) {
+	if m.faulting.Contains(page) || m.res.Contains(page) {
 		return
 	}
 	if f, ok := m.frames.Get(page); ok {
@@ -265,7 +347,8 @@ func (m *Memory) cacheEvicted(page core.PageID) {
 // evictResident is the engine's residency-eviction hook: the victim's bytes
 // are written back to the remote host if dirty (through the async ticket
 // engine, behind the bounded dirty backlog), and its frame is released
-// unless the page cache still references the page.
+// unless the page cache still references the page. The async engine copies
+// the bytes on enqueue, so the frame can be recycled immediately.
 func (m *Memory) evictResident(page core.PageID) {
 	f, ok := m.frames.Get(page)
 	if !ok {
@@ -335,46 +418,100 @@ func (m *Memory) fetchPrefetches(pages []core.PageID) {
 	}
 }
 
-// page runs one access to pg through the shared fault path and returns its
-// frame. This is the runtime counterpart of the simulator's step: flush
-// landed prefetches, check residency, fault through cache/in-flight/miss,
-// consult the prefetcher, map the page in.
-func (m *Memory) page(pg core.PageID) (*frame, error) {
+// fetchDemand reads pg's real image from the host into f.data on a full
+// miss. When the overlap budget (WithConcurrency) has room, the fault-path
+// lock is dropped for the read: a single-flight entry is registered so
+// concurrent faults on pg wait for this fetch (and the engine's prefetch
+// dedup is told to skip pg), while faults on other pages proceed in
+// parallel. At the budget — or at WithConcurrency(1) — the read runs with
+// the lock held, strictly serialized.
+func (m *Memory) fetchDemand(pg core.PageID, f *frame) error {
+	if m.conc <= 1 || m.fetching >= m.conc {
+		return m.host.ReadPage(pg, f.data)
+	}
+	d := &demandFetch{done: make(chan struct{})}
+	m.demand.Put(pg, d)
+	m.eng.BlockPrefetch(pg)
+	m.fetching++
+	m.mu.Unlock()
+	err := m.host.ReadPage(pg, f.data)
+	m.mu.Lock()
+	m.fetching--
+	m.eng.UnblockPrefetch(pg)
+	m.demand.Delete(pg)
+	close(d.done)
+	return err
+}
+
+// page runs one access by client pid to pg through the shared fault path
+// and returns its frame. This is the runtime counterpart of the simulator's
+// step: flush landed prefetches, check residency, fault through
+// cache/in-flight/miss, consult the client's predictor, map the page in.
+// Callers hold m.mu; the returned frame is valid only until the lock is
+// released.
+func (m *Memory) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
 	if m.err != nil {
 		return nil, m.err
 	}
 	if pg < 0 {
 		return nil, fmt.Errorf("leap: negative page %d", pg)
 	}
-	now := m.clock.Now()
-	m.eng.FlushArrivals(now)
 	recording := m.eng.Recording()
 	if recording {
 		*m.cAccesses++
 	}
+	first := true
+	var now sim.Time
+	for {
+		now = m.clock.Now()
+		m.eng.FlushArrivals(now)
 
-	// Resident: no fault.
-	if m.res.Touch(pg) {
-		if recording {
-			*m.cResidentHits++
+		// Resident: no fault.
+		if m.res.Touch(pg) {
+			if recording && first {
+				*m.cResidentHits++
+			}
+			m.lastLatency, m.lastSerial = 0, 0
+			f, _ := m.frames.Get(pg)
+			return f, nil
 		}
-		f, _ := m.frames.Get(pg)
-		return f, nil
+		if first {
+			if recording {
+				*m.cFaults++
+			}
+			first = false
+		}
+
+		// Single-flight: another goroutine is demand-fetching pg. Wait for
+		// its map-in and retry from the residency check. The waited access
+		// is accounted as a hit (it pays no full miss of its own) and is
+		// not re-recorded with the predictor.
+		d, ok := m.demand.Get(pg)
+		if !ok {
+			break
+		}
+		if recording {
+			*m.cDemandWaits++
+		}
+		m.mu.Unlock()
+		<-d.done
+		m.mu.Lock()
+		if m.err != nil {
+			return nil, m.err
+		}
 	}
 
-	if recording {
-		*m.cFaults++
-	}
-	m.faulting = pg
-	latency, miss := m.eng.Fault(0, 0, pg, now)
+	m.faulting.Put(pg, struct{}{})
+	latency, miss := m.eng.Fault(pid, 0, pg, now)
+	m.lastLatency, m.lastSerial = latency, m.eng.LastFaultSerial
 	if miss {
 		// Full miss: fetch the real bytes (zeros when the page has no
 		// remote image — memory never written reads as zero).
 		f := m.newFrame()
 		if m.written.Contains(pg) {
-			if err := m.host.ReadPage(pg, f.data); err != nil {
+			if err := m.fetchDemand(pg, f); err != nil {
 				m.freeFrame(f)
-				m.faulting = -1
+				m.faulting.Delete(pg)
 				return nil, fmt.Errorf("leap: page %d unreachable: %w", pg, err)
 			}
 		} else {
@@ -384,9 +521,9 @@ func (m *Memory) page(pg core.PageID) (*frame, error) {
 	}
 	m.clock.Advance(latency)
 	now = m.clock.Now()
-	m.eng.OnAccess(m, m.res, 0, 0, pg, miss, now)
+	m.eng.OnAccess(m, m.res, pid, 0, pg, miss, now)
 	m.eng.MapIn(m, m.res, 0, pg, now)
-	m.faulting = -1
+	m.faulting.Delete(pg)
 	f, ok := m.frames.Get(pg)
 	if !ok {
 		// Unreachable by construction: every path above installed a frame.
@@ -397,29 +534,53 @@ func (m *Memory) page(pg core.PageID) (*frame, error) {
 
 // Get faults page pg in (prefetching around it) and returns its 4KB frame.
 // The returned slice is a read-only view into the runtime's frame table,
-// valid until the next Memory operation; use WriteAt to mutate pages.
+// valid until the next Memory operation — which makes it safe only when one
+// goroutine drives the Memory. Concurrent callers should use Client.Get
+// (which copies) or ReadAt; use WriteAt to mutate pages.
 func (m *Memory) Get(pg core.PageID) ([]byte, error) {
-	f, err := m.page(pg)
+	m.mu.Lock()
+	f, err := m.page(0, pg)
+	m.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	return f.data, nil
 }
 
+// getInto faults pg in on behalf of pid and copies its frame into dst while
+// the lock is held — the concurrency-safe form of Get.
+func (m *Memory) getInto(pid prefetch.PID, pg core.PageID, dst []byte) error {
+	m.mu.Lock()
+	f, err := m.page(pid, pg)
+	if err == nil {
+		copy(dst, f.data)
+	}
+	m.mu.Unlock()
+	return err
+}
+
 // ReadAt implements io.ReaderAt over the paged address space: it fills p
 // from offset off, faulting (and prefetching) page by page. Never-written
-// memory reads as zeros; there is no EOF.
-func (m *Memory) ReadAt(p []byte, off int64) (int, error) {
+// memory reads as zeros; there is no EOF. Safe for concurrent use; each
+// page is read atomically, a multi-page span is not.
+func (m *Memory) ReadAt(p []byte, off int64) (int, error) { return m.readAt(0, p, off) }
+
+// readAt is ReadAt on behalf of client pid. Bytes are copied out while the
+// fault-path lock is held, page by page.
+func (m *Memory) readAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("leap: negative offset %d", off)
 	}
 	n := 0
 	for n < len(p) {
-		f, err := m.page(core.PageID(off / remote.PageSize))
+		m.mu.Lock()
+		f, err := m.page(pid, core.PageID(off/remote.PageSize))
 		if err != nil {
+			m.mu.Unlock()
 			return n, err
 		}
 		c := copy(p[n:], f.data[off%remote.PageSize:])
+		m.mu.Unlock()
 		n += c
 		off += int64(c)
 	}
@@ -429,19 +590,26 @@ func (m *Memory) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt implements io.WriterAt: it copies p into the paged address space
 // at offset off. Partially covered pages fault in first (read-modify-write);
 // dirty frames are written back to the remote host on eviction through the
-// async ticket engine.
-func (m *Memory) WriteAt(p []byte, off int64) (int, error) {
+// async ticket engine. Safe for concurrent use; each page is written
+// atomically, a multi-page span is not.
+func (m *Memory) WriteAt(p []byte, off int64) (int, error) { return m.writeAt(0, p, off) }
+
+// writeAt is WriteAt on behalf of client pid.
+func (m *Memory) writeAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("leap: negative offset %d", off)
 	}
 	n := 0
 	for n < len(p) {
-		f, err := m.page(core.PageID(off / remote.PageSize))
+		m.mu.Lock()
+		f, err := m.page(pid, core.PageID(off/remote.PageSize))
 		if err != nil {
+			m.mu.Unlock()
 			return n, err
 		}
 		c := copy(f.data[off%remote.PageSize:], p[n:])
 		f.dirty = true
+		m.mu.Unlock()
 		n += c
 		off += int64(c)
 	}
@@ -453,6 +621,13 @@ func (m *Memory) WriteAt(p []byte, off int64) (int, error) {
 // store failure, if any. Resident dirty frames stay local — they are
 // memory, not a write-through cache — and reach the host on eviction.
 func (m *Memory) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushLocked()
+}
+
+// flushLocked is Flush with m.mu held.
+func (m *Memory) flushLocked() error {
 	m.eng.FlushWriteback(0, m.clock.Now())
 	if err := m.host.Flush(); err != nil && m.err == nil {
 		m.err = fmt.Errorf("leap: flush failed: %w", err)
@@ -464,7 +639,9 @@ func (m *Memory) Flush() error {
 // in-process cluster, closes the host. A host supplied via WithRemoteHost
 // is left open for its owner.
 func (m *Memory) Close() error {
-	err := m.Flush()
+	m.mu.Lock()
+	err := m.flushLocked()
+	m.mu.Unlock()
 	if m.ownHost {
 		if cerr := m.host.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -482,6 +659,10 @@ type Stats struct {
 	// prefetch, InflightHits on one still in flight, Misses went to the
 	// host (or materialized a zero page).
 	Faults, CacheHits, InflightHits, Misses int64
+	// DemandWaits counts faults that waited on another goroutine's
+	// in-flight demand fetch of the same page instead of re-issuing it —
+	// the single-flight dedup at work. Always 0 single-threaded.
+	DemandWaits int64
 	// PrefetchIssued counts pages the prefetcher requested; Swapouts counts
 	// resident evictions.
 	PrefetchIssued, Swapouts int64
@@ -497,8 +678,10 @@ type Stats struct {
 	Host remote.HostStats
 }
 
-// Stats reports the runtime's cumulative accounting.
+// Stats reports the runtime's cumulative accounting. Safe to call
+// concurrently with operations; the snapshot is internally consistent.
 func (m *Memory) Stats() Stats {
+	m.mu.Lock()
 	c := &m.eng.Counters
 	cs := m.eng.Cache().Stats()
 	s := Stats{
@@ -508,15 +691,20 @@ func (m *Memory) Stats() Stats {
 		CacheHits:      c.Get("cache_hits"),
 		InflightHits:   c.Get("inflight_hits"),
 		Misses:         c.Get("cache_misses"),
+		DemandWaits:    c.Get("demand_waits"),
 		PrefetchIssued: c.Get("prefetch_issued"),
 		Swapouts:       c.Get("swapouts"),
 		Latency:        m.eng.FaultLatency.Summarize(),
-		Host:           m.host.Stats(),
+		// Host stats are taken under m.mu too (m.mu → host.mu is the
+		// ordering everywhere), so the whole snapshot is one instant.
+		Host: m.host.Stats(),
 	}
+	cacheStats0 := m.cacheStats0
+	m.mu.Unlock()
 	if s.Accesses > 0 {
 		s.HitRatio = 1 - float64(s.Misses)/float64(s.Accesses)
 	}
-	prefetchHits := cs.PrefetchHits - m.cacheStats0.PrefetchHits + s.InflightHits
+	prefetchHits := cs.PrefetchHits - cacheStats0.PrefetchHits + s.InflightHits
 	if s.PrefetchIssued > 0 {
 		s.Accuracy = float64(prefetchHits) / float64(s.PrefetchIssued)
 	}

@@ -17,8 +17,18 @@ import (
 // eviction, while real page images move underneath.
 //
 // Build one with Open; drive it with ReadAt / WriteAt / Get; read the
-// accounting with Stats. Memory is not safe for concurrent use.
+// accounting with Stats. Memory is safe for concurrent use by arbitrary
+// goroutines: one lock serializes the fault path, full misses overlap their
+// remote fetches outside it (single-flight per page, bounded by
+// WithConcurrency), and Client handles map logical clients onto their own
+// predictors (§4.1 isolation) over the shared cache, budget and host.
 type Memory = runtime.Memory
+
+// MemoryClient is a per-client handle on a shared Memory: operations
+// through it feed the client id's own predictor while cache, budget and
+// host stay shared. Create handles with Memory.Client — one per goroutine;
+// handles with equal ids share a predictor.
+type MemoryClient = runtime.Client
 
 // MemoryStats aggregates a Memory's fault-path accounting (hits, misses,
 // accuracy, coverage, latency percentiles, host activity).
@@ -60,9 +70,18 @@ func WithCacheCapacity(pages int) Option { return runtime.WithCacheCapacity(page
 // 8; 1 degenerates to one synchronous round trip per page).
 func WithQueueDepth(depth int) Option { return runtime.WithQueueDepth(depth) }
 
+// WithConcurrency bounds how many demand-miss fetches may overlap outside
+// the fault-path lock (default runtime.DefaultConcurrency). Size it to the
+// number of goroutines driving the Memory; 1 serializes the fault path
+// completely — a single-goroutine run makes identical decisions at every
+// setting.
+func WithConcurrency(n int) Option { return runtime.WithConcurrency(n) }
+
 // WithClock shares a virtual clock with the runtime (for virtual-time
 // tests: fault latencies are charged to it, so a test can interleave its
 // own events deterministically). Default: a private clock starting at 0.
+// A shared clock must not be touched while operations are in flight on
+// other goroutines.
 func WithClock(c *sim.Clock) Option { return runtime.WithClock(c) }
 
 // WithSeed seeds the latency models (fabric jitter, data-path stage draws).
