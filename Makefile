@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check smoke runtime-smoke concurrency-smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check smoke runtime-smoke concurrency-smoke elastic-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -54,6 +54,15 @@ concurrency-smoke:
 	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -v 'done in' > /tmp/leap_conc_b.txt
 	diff /tmp/leap_conc_a.txt /tmp/leap_conc_b.txt
 	$(GO) test -race -run 'TestMemoryConcurrent|TestMemoryReadYourWrites|TestConcurrencyOne' .
+
+# Elastic smoke: the self-healing control-plane figure must be
+# byte-identical across two runs (every detector/scaler decision replays
+# from virtual time), and the control plane must be race-clean.
+elastic-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig elastic | grep -v 'done in' > /tmp/leap_elastic_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig elastic | grep -v 'done in' > /tmp/leap_elastic_b.txt
+	diff /tmp/leap_elastic_a.txt /tmp/leap_elastic_b.txt
+	$(GO) test -race ./internal/control
 
 # Regenerate every figure and table at full scale.
 figures:

@@ -110,6 +110,11 @@ type Report struct {
 	// staleness is permitted (last-resort reads) rather than a bug.
 	DegradedReads int64
 
+	// ScaleUps / ScaleDowns count elastic transitions the schedule drove:
+	// agents provisioned into the pool and agents gracefully drained out.
+	ScaleUps   int64
+	ScaleDowns int64
+
 	// FreshnessViolations counts reads that failed or returned stale bytes
 	// even though an acknowledged holder WAS reachable. Always a bug.
 	FreshnessViolations int64
@@ -156,6 +161,9 @@ func (r *Report) String() string {
 		r.RepairRounds, r.RepairedSlabs, r.RepairErrors, r.RepairTime, r.DegradedReads, r.WriteFailures)
 	fmt.Fprintf(&b, "  violations: freshness=%d lost=%d barrier=%d\n",
 		r.FreshnessViolations, r.LostPages, r.BarrierViolations)
+	if r.ScaleUps+r.ScaleDowns > 0 {
+		fmt.Fprintf(&b, "  elastic: scale-ups=%d scale-downs=%d\n", r.ScaleUps, r.ScaleDowns)
+	}
 	return b.String()
 }
 
@@ -190,6 +198,14 @@ type Cluster struct {
 	buf        []byte
 	ran        bool
 
+	// Elastic state: the RNG feeding fault transports of agents provisioned
+	// mid-run (created lazily off a dedicated seed so static schedules keep
+	// their exact historical RNG streams), the agents drained out of the
+	// pool, and the active gradual-slowdown ramps.
+	scaleRNG *sim.RNG
+	drained  map[int]bool
+	ramps    []rampState
+
 	// Batched-mode state (QueueDepth > 1): the open doorbell group, its
 	// per-page bookkeeping, and a read-buffer pool.
 	group       []groupOp
@@ -197,6 +213,17 @@ type Cluster struct {
 	groupReads  map[core.PageID]bool
 	bufPool     [][]byte
 	doneBuf     []sim.Time
+}
+
+// rampDuration is the virtual time a SlowRamp takes to reach its peak
+// latency; shorter windows simply stop partway up.
+const rampDuration = 1 * sim.Millisecond
+
+// rampState is one in-progress SlowRamp.
+type rampState struct {
+	agent int
+	peak  sim.Duration
+	start sim.Time
 }
 
 // groupOp is one enqueued-but-unflushed operation in batched mode.
@@ -350,7 +377,7 @@ func (c *Cluster) refreshHolders() {
 
 // apply executes one schedule event at the (already advanced) clock.
 func (c *Cluster) apply(e Event) error {
-	if e.Kind != Repair && (e.Agent < 0 || e.Agent >= len(c.faults)) {
+	if e.Kind != Repair && e.Kind != ScaleUp && (e.Agent < 0 || e.Agent >= len(c.faults)) {
 		return fmt.Errorf("chaos: event %q targets agent %d of %d", e, e.Agent, len(c.faults))
 	}
 	// Fault dimensions compose per-field, so overlapping windows on one
@@ -375,15 +402,123 @@ func (c *Cluster) apply(e Event) error {
 	case SlowStart:
 		update(e.Agent, func(m *remote.FaultMode) { m.ExtraLatency = e.Extra })
 	case SlowEnd:
+		c.dropRamp(e.Agent)
 		update(e.Agent, func(m *remote.FaultMode) { m.ExtraLatency = 0 })
+	case SlowRamp:
+		c.dropRamp(e.Agent)
+		c.ramps = append(c.ramps, rampState{agent: e.Agent, peak: e.Extra, start: c.clock.Now()})
 	case FlakyStart:
 		update(e.Agent, func(m *remote.FaultMode) { m.WriteFailProb = e.Prob })
 	case FlakyEnd:
 		update(e.Agent, func(m *remote.FaultMode) { m.WriteFailProb = 0 })
 	case Repair:
 		c.runRepair()
+	case ScaleUp:
+		return c.scaleUp()
+	case ScaleDown:
+		return c.scaleDown(e.Agent)
 	}
 	return nil
+}
+
+// scaleUp provisions a fresh in-process agent at the next free index, adds
+// it to the host's placement pool and rebalances its rendezvous share onto
+// it under virtual-time accounting. The new agent's fault-decision RNG comes
+// from a dedicated stream (seeded off Config.Seed) so provisioning never
+// perturbs the workload, fabric or static-agent streams — static schedules
+// replay bit-identically whether or not the elastic machinery exists.
+func (c *Cluster) scaleUp() error {
+	idx := len(c.faults)
+	if c.scaleRNG == nil {
+		c.scaleRNG = sim.NewRNG(c.cfg.Seed ^ 0xe1a57ec)
+	}
+	ag := remote.NewAgent(c.cfg.SlabPages, 0)
+	ft := remote.NewFaultTransport(idx, remote.NewInProc(ag), c.scaleRNG.Fork(uint64(idx)))
+	ft.SetObserver(c.observe)
+	c.agents = append(c.agents, ag)
+	c.faults = append(c.faults, ft)
+	if got := c.host.AddAgent(ft); got != idx {
+		return fmt.Errorf("chaos: scale-up expected index %d, host assigned %d", idx, got)
+	}
+	_, _, err := c.timed(func() error {
+		_, rerr := c.host.Rebalance()
+		return rerr
+	})
+	c.refreshHolders()
+	c.report.ScaleUps++
+	return err
+}
+
+// scaleDown gracefully drains agent idx: Retire it out of the rendezvous
+// ranking, Rebalance its slabs onto the survivors (the retiree stays a live
+// copy source throughout, so no fresh copy is ever lost), then PurgeAgent.
+// A drain that would leave fewer live agents than the replication factor is
+// a schedule error.
+func (c *Cluster) scaleDown(idx int) error {
+	if c.drained[idx] {
+		return fmt.Errorf("chaos: scaledown %d: agent already drained", idx)
+	}
+	live := 0
+	for i, ft := range c.faults {
+		if i != idx && !c.drained[i] && !ft.Mode().Crashed {
+			live++
+		}
+	}
+	if live < c.cfg.Replicas {
+		return fmt.Errorf("chaos: scaledown %d would leave %d live agents for %d replicas",
+			idx, live, c.cfg.Replicas)
+	}
+	if err := c.host.Retire(idx); err != nil {
+		return err
+	}
+	_, _, err := c.timed(func() error {
+		_, rerr := c.host.Rebalance()
+		return rerr
+	})
+	if err != nil {
+		// Roll the drain back: the agent still holds everything it held.
+		_ = c.host.Reinstate(idx)
+		return fmt.Errorf("chaos: scaledown %d: rebalance: %w", idx, err)
+	}
+	if _, err := c.host.PurgeAgent(idx); err != nil {
+		return err
+	}
+	if c.drained == nil {
+		c.drained = make(map[int]bool)
+	}
+	c.drained[idx] = true
+	c.refreshHolders()
+	c.report.ScaleDowns++
+	return nil
+}
+
+// dropRamp removes agent idx's active ramp, if any.
+func (c *Cluster) dropRamp(idx int) {
+	for i, r := range c.ramps {
+		if r.agent == idx {
+			c.ramps = append(c.ramps[:i], c.ramps[i+1:]...)
+			return
+		}
+	}
+}
+
+// stepRamps advances every active SlowRamp to the latency its elapsed time
+// calls for: peak × min(1, elapsed/rampDuration). Called once per workload
+// op; with no ramps active it is a no-op, so non-elastic runs are untouched.
+func (c *Cluster) stepRamps() {
+	now := c.clock.Now()
+	for _, r := range c.ramps {
+		frac := float64(now.Sub(r.start)) / float64(rampDuration)
+		if frac > 1 {
+			frac = 1
+		}
+		target := sim.Duration(float64(r.peak) * frac)
+		m := c.faults[r.agent].Mode()
+		if m.ExtraLatency != target {
+			m.ExtraLatency = target
+			c.faults[r.agent].SetMode(m)
+		}
+	}
 }
 
 // restart brings a crashed agent back empty and rejoins it.
@@ -613,9 +748,12 @@ func (c *Cluster) Run(sched Schedule) (*Report, error) {
 	if c.ran {
 		return nil, fmt.Errorf("chaos: Cluster is single-use; build a new one per Run")
 	}
-	if maxA := sched.MaxAgent(); maxA >= c.cfg.Agents {
+	// Scale-ups grow the pool mid-run, so the static bound is the initial
+	// size plus every provisioned agent; apply() still rejects an event that
+	// targets an index before its scale-up has happened.
+	if maxA, limit := sched.MaxAgent(), c.cfg.Agents+sched.ScaleUps(); maxA >= limit {
 		return nil, fmt.Errorf("chaos: schedule %q needs agent %d, cluster has %d",
-			sched.Name, maxA, c.cfg.Agents)
+			sched.Name, maxA, limit)
 	}
 	c.ran = true
 	c.report = Report{Schedule: sched.Name}
@@ -639,6 +777,9 @@ func (c *Cluster) Run(sched Schedule) (*Report, error) {
 			ei++
 		}
 		c.clock.AdvanceTo(next)
+		if len(c.ramps) > 0 {
+			c.stepRamps()
+		}
 		if c.cfg.RepairEvery > 0 && c.clock.Now().Sub(c.lastRepair) >= c.cfg.RepairEvery {
 			c.flushGroup()
 			c.runRepair()

@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"leap/internal/sim"
+)
+
+// elasticCase runs one randomized elastic schedule — fault windows plus
+// scale-up/scale-down/slow-ramp transitions — against a fresh cluster.
+// Everything derives from caseSeed, so a failure reproduces from the seed.
+func elasticCase(caseSeed uint64, ops, windows int) (*Report, Schedule, error) {
+	cfg := Config{
+		Agents:    4 + int(caseSeed%3), // 4–6 agents, room for drains
+		SlabPages: 4,
+		Pages:     48,
+		Ops:       ops,
+		WriteFrac: 0.45,
+		Seed:      caseSeed,
+	}
+	sched := RandomSchedule(caseSeed^0xe1a57ec5, GenConfig{
+		Agents:     cfg.Agents,
+		Horizon:    cfg.Horizon(),
+		MaxWindows: windows,
+		Elastic:    true,
+	})
+	c, err := New(cfg)
+	if err != nil {
+		return nil, sched, err
+	}
+	rep, err := c.Run(sched)
+	return rep, sched, err
+}
+
+// shrinkElastic reduces a failing elastic case as shrink does for the
+// static suite: halve the op count, then trim windows, while it still fails.
+func shrinkElastic(t *testing.T, caseSeed uint64, ops, windows int) (int, int) {
+	t.Helper()
+	fails := func(o, w int) bool {
+		rep, _, err := elasticCase(caseSeed, o, w)
+		return err != nil || rep.Violations() != 0
+	}
+	for ops > 25 && fails(ops/2, windows) {
+		ops /= 2
+	}
+	for windows > 1 && fails(ops, windows-1) {
+		windows--
+	}
+	return ops, windows
+}
+
+// TestHostPropertyElasticSchedules extends the randomized property suite to
+// elastic clusters: under ANY generated interleaving of workload, faults,
+// repairs, agent provisioning (scale-up + rebalance), graceful drains
+// (retire → rebalance → purge) and gradual slow-ramps, the PR-2 invariants
+// must still hold — no read misses the freshest acked value while a holder
+// is reachable, every healthy-cluster repair barrier restores the
+// replication factor, and every acked write survives to the final readback.
+//
+// ≥1000 cases run even under -short. Replay one case with
+// LEAP_CHAOS_SEED=<seed> go test -run TestHostPropertyElasticSchedules.
+func TestHostPropertyElasticSchedules(t *testing.T) {
+	const ops, windows = 120, 5
+	if env := os.Getenv("LEAP_CHAOS_SEED"); env != "" {
+		seed, err := strconv.ParseUint(env, 0, 64)
+		if err != nil {
+			t.Fatalf("bad LEAP_CHAOS_SEED: %v", err)
+		}
+		runElasticCase(t, seed, ops, windows)
+		return
+	}
+	cases := 2000
+	if testing.Short() {
+		cases = 1000
+	}
+	for i := 0; i < cases; i++ {
+		runElasticCase(t, 0xE1A5<<20|uint64(i), ops, windows)
+	}
+}
+
+func runElasticCase(t *testing.T, seed uint64, ops, windows int) {
+	t.Helper()
+	rep, sched, err := elasticCase(seed, ops, windows)
+	if err != nil {
+		t.Fatalf("case seed=%#x: run error: %v\nschedule:\n%s", seed, err, sched)
+	}
+	if rep.Violations() == 0 {
+		return
+	}
+	sOps, sWindows := shrinkElastic(t, seed, ops, windows)
+	srep, ssched, _ := elasticCase(seed, sOps, sWindows)
+	t.Fatalf("case seed=%#x violated invariants (replay: LEAP_CHAOS_SEED=%#x)\n"+
+		"full case:\n%s\nshrunk to ops=%d windows=%d:\n%s\nshrunk schedule:\n%s",
+		seed, seed, rep, sOps, sWindows, srep, ssched)
+}
+
+// TestElasticCasesAreNotVacuous checks the elastic generator actually
+// exercises all three transition kinds somewhere in a modest seed sample —
+// a suite that never scales proves nothing about elasticity.
+func TestElasticCasesAreNotVacuous(t *testing.T) {
+	var ups, downs, ramps int64
+	for i := 0; i < 60; i++ {
+		seed := 0xE1A5<<20 | uint64(i)
+		rep, sched, err := elasticCase(seed, 120, 5)
+		if err != nil {
+			t.Fatalf("seed=%#x: %v", seed, err)
+		}
+		ups += rep.ScaleUps
+		downs += rep.ScaleDowns
+		for _, e := range sched.Events {
+			if e.Kind == SlowRamp {
+				ramps++
+			}
+		}
+	}
+	if ups == 0 || downs == 0 || ramps == 0 {
+		t.Fatalf("elastic sample never exercised transitions: ups=%d downs=%d ramps=%d",
+			ups, downs, ramps)
+	}
+}
+
+// TestElasticLibrarySchedules runs every shipped elastic scenario at two
+// doorbell depths and requires a clean report through each transition.
+func TestElasticLibrarySchedules(t *testing.T) {
+	for _, depth := range []int{1, 8} {
+		for _, sched := range ElasticLibrary(Config{}.Horizon()) {
+			cfg := Config{Seed: 7, QueueDepth: depth}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Run(sched)
+			if err != nil {
+				t.Fatalf("depth=%d %s: %v", depth, sched.Name, err)
+			}
+			if rep.Violations() != 0 {
+				t.Errorf("depth=%d %s: violations\n%s", depth, sched.Name, rep)
+			}
+		}
+	}
+}
+
+// TestScaleDownMovesDataBeforePurge pins the drain ordering: after a
+// scale-down event the victim holds no placements, every previously acked
+// page still has live holders, and the report counts the transition.
+func TestScaleDownMovesDataBeforePurge(t *testing.T) {
+	sched := Schedule{Name: "drain-check", Events: []Event{
+		{At: 2 * sim.Millisecond, Kind: ScaleDown, Agent: 2},
+		{At: 3 * sim.Millisecond, Kind: Repair, Agent: -1},
+	}}
+	c, err := New(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations() != 0 || rep.ScaleDowns != 1 {
+		t.Fatalf("drain run unclean:\n%s", rep)
+	}
+	for _, page := range c.written {
+		for _, h := range c.model[page].holders {
+			if h == 2 {
+				t.Fatalf("page %d still acked on drained agent 2", page)
+			}
+		}
+	}
+	if got := c.host.RetiredAgents(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("RetiredAgents = %v, want [2]", got)
+	}
+}
+
+// TestScaleDownBelowReplicasRejected: draining the cluster below the
+// replication factor is a schedule error, not a silent data loss.
+func TestScaleDownBelowReplicasRejected(t *testing.T) {
+	sched := Schedule{Name: "over-drain", Events: []Event{
+		{At: 1 * sim.Millisecond, Kind: ScaleDown, Agent: 0},
+		{At: 2 * sim.Millisecond, Kind: ScaleDown, Agent: 1},
+		{At: 3 * sim.Millisecond, Kind: ScaleDown, Agent: 2},
+	}}
+	c, err := New(Config{Agents: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(sched); err == nil ||
+		!strings.Contains(err.Error(), "would leave") {
+		t.Fatalf("over-drain accepted: %v", err)
+	}
+}
+
+// TestScaleEventBeforeProvisionRejected: an event may not target an agent
+// index whose scale-up has not happened yet.
+func TestScaleEventBeforeProvisionRejected(t *testing.T) {
+	sched := Schedule{Name: "premature", Events: []Event{
+		{At: 1 * sim.Millisecond, Kind: Crash, Agent: 4},
+		{At: 5 * sim.Millisecond, Kind: ScaleUp, Agent: -1},
+	}}
+	c, err := New(Config{Agents: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(sched); err == nil ||
+		!strings.Contains(err.Error(), "targets agent") {
+		t.Fatalf("premature reference accepted: %v", err)
+	}
+}
+
+// TestElasticScheduleRoundTrips extends the String→Parse round-trip
+// guarantee to elastic schedules, whose grammar adds the agentless scaleup
+// verb and the slowramp latency parameter.
+func TestElasticScheduleRoundTrips(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := RandomSchedule(seed, GenConfig{Agents: 5, Horizon: 10 * sim.Millisecond, MaxWindows: 5, Elastic: true})
+		again, err := Parse(s.Name, s.String())
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v\n%s", seed, err, s)
+		}
+		if !reflect.DeepEqual(s.Events, again.Events) {
+			t.Fatalf("seed %d: round trip diverged:\n%v\n%v", seed, s.Events, again.Events)
+		}
+	}
+	for _, s := range ElasticLibrary(10 * sim.Millisecond) {
+		again, err := Parse(s.Name, s.String())
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(s.Events, again.Events) {
+			t.Fatalf("%s: round trip diverged", s.Name)
+		}
+	}
+}
+
+// FuzzScheduleParse fuzzes the schedule grammar: any input Parse accepts
+// must survive a String→Parse round trip exactly — the property that makes
+// a printed failing schedule a faithful reproduction. The seed corpus
+// covers every verb, including the scale-event syntax added for elastic
+// schedules (agentless scaleup, scaledown, slowramp with latency).
+func FuzzScheduleParse(f *testing.F) {
+	f.Add("5ms crash 0\n7ms restart 0\n8ms repair\n")
+	f.Add("1ms partition 2\n2ms heal 2\n")
+	f.Add("100µs slow 1 250µs\n900µs endslow 1\n")
+	f.Add("3ms flaky 3 0.25\n5ms endflaky 3\n")
+	f.Add("2ms scaleup\n4ms repair\n")
+	f.Add("1ms scaledown 1\n2ms repair\n")
+	f.Add("500µs slowramp 2 300µs\n6ms endslow 2\n")
+	f.Add("# comment\n\n2ms scaleup # trailing\n9ms scaledown 4\n")
+	f.Add("10ns crash 0\n15ns scaleup\n1s slowramp 0 123ns\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse("fuzz", text)
+		if err != nil {
+			return
+		}
+		again, err := Parse(s.Name, s.String())
+		if err != nil {
+			t.Fatalf("rendered schedule failed to re-parse: %v\n%s", err, s)
+		}
+		if !reflect.DeepEqual(s.Events, again.Events) {
+			t.Fatalf("round trip diverged:\n%v\n%v", s.Events, again.Events)
+		}
+	})
+}

@@ -53,6 +53,20 @@ const (
 	// re-push). A Repair while every agent is healthy is a barrier: the
 	// harness asserts full replication was restored.
 	Repair
+	// ScaleUp provisions a brand-new agent (next free index), adds it to the
+	// host's placement pool and rebalances its rendezvous share onto it —
+	// elastic growth. Needs no agent field.
+	ScaleUp
+	// ScaleDown gracefully drains the target agent: Retire (leave the
+	// rendezvous ranking), Rebalance (migrate its slabs to the survivors),
+	// then PurgeAgent. Unlike Crash, no copy is ever lost — that is the
+	// invariant elastic schedules check.
+	ScaleDown
+	// SlowRamp raises the target agent's per-call latency linearly from zero
+	// to Extra over rampDuration of virtual time — a degrading NIC or a
+	// thermally throttling node, the gradual counterpart of SlowStart. Ended
+	// by SlowEnd like an ordinary slow window.
+	SlowRamp
 )
 
 // verbs maps each Kind to its schedule-file verb.
@@ -66,6 +80,9 @@ var verbs = map[Kind]string{
 	FlakyStart: "flaky",
 	FlakyEnd:   "endflaky",
 	Repair:     "repair",
+	ScaleUp:    "scaleup",
+	ScaleDown:  "scaledown",
+	SlowRamp:   "slowramp",
 }
 
 // Event is one scheduled fault action at a virtual-time offset from the
@@ -100,8 +117,12 @@ func (e Event) String() string {
 	switch e.Kind {
 	case Repair:
 		return fmt.Sprintf("%s repair", fmtDur(e.At))
+	case ScaleUp:
+		return fmt.Sprintf("%s scaleup", fmtDur(e.At))
 	case SlowStart:
 		return fmt.Sprintf("%s slow %d %s", fmtDur(e.At), e.Agent, fmtDur(e.Extra))
+	case SlowRamp:
+		return fmt.Sprintf("%s slowramp %d %s", fmtDur(e.At), e.Agent, fmtDur(e.Extra))
 	case FlakyStart:
 		return fmt.Sprintf("%s flaky %d %g", fmtDur(e.At), e.Agent, e.Prob)
 	default:
@@ -127,11 +148,23 @@ func (s Schedule) sorted() []Event {
 func (s Schedule) MaxAgent() int {
 	maxIdx := -1
 	for _, e := range s.Events {
-		if e.Kind != Repair && e.Agent > maxIdx {
+		if e.Kind != Repair && e.Kind != ScaleUp && e.Agent > maxIdx {
 			maxIdx = e.Agent
 		}
 	}
 	return maxIdx
+}
+
+// ScaleUps counts the schedule's ScaleUp events — the number of agents the
+// cluster may grow by, so runners can size their validation accordingly.
+func (s Schedule) ScaleUps() int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == ScaleUp {
+			n++
+		}
+	}
+	return n
 }
 
 // String renders the schedule in the textual format Parse accepts: one
@@ -184,7 +217,7 @@ func Parse(name, text string) (Schedule, error) {
 			return Schedule{}, fmt.Errorf("chaos: line %d: unknown verb %q", lineNo+1, verb)
 		}
 		want := 2 // fields consumed so far
-		if ev.Kind != Repair {
+		if ev.Kind != Repair && ev.Kind != ScaleUp {
 			if len(fields) < 3 {
 				return Schedule{}, fmt.Errorf("chaos: line %d: %s needs an agent index", lineNo+1, verb)
 			}
@@ -195,9 +228,9 @@ func Parse(name, text string) (Schedule, error) {
 			want = 3
 		}
 		switch ev.Kind {
-		case SlowStart:
+		case SlowStart, SlowRamp:
 			if len(fields) < 4 {
-				return Schedule{}, fmt.Errorf("chaos: line %d: slow needs a latency", lineNo+1)
+				return Schedule{}, fmt.Errorf("chaos: line %d: %s needs a latency", lineNo+1, verb)
 			}
 			if ev.Extra, err = sim.ParseDuration(fields[3]); err != nil {
 				return Schedule{}, fmt.Errorf("chaos: line %d: %v", lineNo+1, err)
@@ -278,6 +311,45 @@ func Library(horizon sim.Duration) []Schedule {
 	}
 }
 
+// ElasticLibrary returns the shipped elastic scenario suite scaled to a run
+// of roughly horizon virtual time: scale-ups and graceful drains under load,
+// churn (grow then shrink), a crash landing on a freshly provisioned agent,
+// and a gradual slow-ramp. Schedules assume a four-agent cluster; the same
+// zero-loss invariants as Library apply through every transition.
+func ElasticLibrary(horizon sim.Duration) []Schedule {
+	at := func(frac float64) sim.Duration { return sim.Duration(float64(horizon) * frac) }
+	return []Schedule{
+		{Name: "scale-up", Events: []Event{
+			{At: at(0.25), Kind: ScaleUp, Agent: -1},
+			{At: at(0.30), Kind: Repair, Agent: -1}, // barrier
+		}},
+		{Name: "scale-down", Events: []Event{
+			{At: at(0.30), Kind: ScaleDown, Agent: 0},
+			{At: at(0.35), Kind: Repair, Agent: -1}, // barrier
+		}},
+		{Name: "elastic-churn", Events: []Event{
+			{At: at(0.10), Kind: ScaleUp, Agent: -1},
+			{At: at(0.15), Kind: Repair, Agent: -1},
+			{At: at(0.40), Kind: ScaleDown, Agent: 4}, // drain the newcomer
+			{At: at(0.45), Kind: Repair, Agent: -1},
+			{At: at(0.65), Kind: ScaleDown, Agent: 1},
+			{At: at(0.70), Kind: Repair, Agent: -1},
+		}},
+		{Name: "crash-newcomer", Events: []Event{
+			{At: at(0.10), Kind: ScaleUp, Agent: -1},
+			{At: at(0.15), Kind: Repair, Agent: -1},
+			{At: at(0.35), Kind: Crash, Agent: 4},
+			{At: at(0.40), Kind: Repair, Agent: -1}, // re-replicate while down
+			{At: at(0.60), Kind: Restart, Agent: 4},
+			{At: at(0.65), Kind: Repair, Agent: -1}, // barrier
+		}},
+		{Name: "slow-ramp", Events: []Event{
+			{At: at(0.20), Kind: SlowRamp, Agent: 1, Extra: 250 * sim.Microsecond},
+			{At: at(0.70), Kind: SlowEnd, Agent: 1},
+		}},
+	}
+}
+
 // Scenario fetches one Library schedule by name.
 func Scenario(name string, horizon sim.Duration) (Schedule, bool) {
 	for _, s := range Library(horizon) {
@@ -293,6 +365,12 @@ type GenConfig struct {
 	Agents     int          // cluster size (faults target [0, Agents))
 	Horizon    sim.Duration // approximate run length the schedule spans
 	MaxWindows int          // fault windows to generate (default 3)
+	// Elastic adds scale-up, scale-down and slow-ramp windows to the kind
+	// pool. The generator tracks the live population: scale-ups append new
+	// agent indices (which later windows may then target), scale-downs
+	// remove a random live agent and never shrink the pool below four, so a
+	// subsequent crash window still leaves the replication factor coverable.
+	Elastic bool
 }
 
 // RandomSchedule generates a randomized fault schedule from seed, for
@@ -301,7 +379,9 @@ type GenConfig struct {
 // (crash/restart, partition, flaky writes, or slowness), and every window
 // closes with full healing followed by a Repair barrier. Within that
 // grammar, window kinds, targets, lengths and gaps are all random — the
-// seed is the reproduction (and shrinking) handle.
+// seed is the reproduction (and shrinking) handle. With GenConfig.Elastic
+// the kind pool additionally holds scale-up, scale-down and slow-ramp
+// windows, so schedules drive elastic transitions under the same barriers.
 func RandomSchedule(seed uint64, g GenConfig) Schedule {
 	if g.Agents < 2 {
 		g.Agents = 2
@@ -314,6 +394,21 @@ func RandomSchedule(seed uint64, g GenConfig) Schedule {
 	}
 	rng := sim.NewRNG(seed)
 	s := Schedule{Name: fmt.Sprintf("random-%d", seed)}
+	if g.Elastic {
+		s.Name = fmt.Sprintf("elastic-%d", seed)
+	}
+	// The live population, mutated by elastic windows: scale-ups append the
+	// next fresh index, scale-downs remove their victim so no later window
+	// targets a drained agent.
+	avail := make([]int, g.Agents)
+	for i := range avail {
+		avail[i] = i
+	}
+	next := g.Agents
+	kinds := 4
+	if g.Elastic {
+		kinds = 7
+	}
 	slot := g.Horizon / sim.Duration(g.MaxWindows)
 	for w := 0; w < g.MaxWindows; w++ {
 		base := sim.Duration(w) * slot
@@ -322,8 +417,12 @@ func RandomSchedule(seed uint64, g GenConfig) Schedule {
 		start := base + sim.Duration(rng.Int63n(int64(slot/2)+1))
 		dur := sim.Duration(rng.Int63n(int64(slot/4)+1)) + slot/8
 		end := start + dur
-		agent := rng.Intn(g.Agents)
-		switch rng.Intn(4) {
+		agent := avail[rng.Intn(len(avail))]
+		kind := rng.Intn(kinds)
+		if kind == 5 && len(avail) <= 4 {
+			kind = 4 // too small to drain safely: grow instead
+		}
+		switch kind {
 		case 0: // crash, sometimes repaired while down, then restart
 			s.Events = append(s.Events, Event{At: start, Kind: Crash, Agent: agent})
 			if rng.Intn(2) == 0 {
@@ -340,6 +439,22 @@ func RandomSchedule(seed uint64, g GenConfig) Schedule {
 		case 3:
 			extra := sim.Duration(rng.Int63n(int64(300 * sim.Microsecond)))
 			s.Events = append(s.Events, Event{At: start, Kind: SlowStart, Agent: agent, Extra: extra})
+			s.Events = append(s.Events, Event{At: end, Kind: SlowEnd, Agent: agent})
+		case 4: // elastic growth; the newcomer is fair game for later windows
+			s.Events = append(s.Events, Event{At: start, Kind: ScaleUp, Agent: -1})
+			avail = append(avail, next)
+			next++
+		case 5: // graceful drain of a random live agent
+			s.Events = append(s.Events, Event{At: start, Kind: ScaleDown, Agent: agent})
+			for i, a := range avail {
+				if a == agent {
+					avail = append(avail[:i], avail[i+1:]...)
+					break
+				}
+			}
+		case 6: // gradual slowdown ramping to a random peak
+			extra := sim.Duration(rng.Int63n(int64(300*sim.Microsecond))) + 50*sim.Microsecond
+			s.Events = append(s.Events, Event{At: start, Kind: SlowRamp, Agent: agent, Extra: extra})
 			s.Events = append(s.Events, Event{At: end, Kind: SlowEnd, Agent: agent})
 		}
 		s.Events = append(s.Events, Event{At: end + slot/16 + 1, Kind: Repair, Agent: -1})

@@ -1,0 +1,421 @@
+package control
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"leap/internal/core"
+	"leap/internal/remote"
+	"leap/internal/sim"
+)
+
+// testCluster wires a host over in-proc agents behind fault injectors, the
+// shape every harness uses.
+type testCluster struct {
+	host   *remote.Host
+	faults []*remote.FaultTransport
+	rng    *sim.RNG
+}
+
+func newTestCluster(t *testing.T, agents int, cfg remote.HostConfig) *testCluster {
+	t.Helper()
+	rng := sim.NewRNG(0xC0117801)
+	c := &testCluster{rng: rng}
+	var trs []remote.Transport
+	for i := 0; i < agents; i++ {
+		ft := remote.NewFaultTransport(i, remote.NewInProc(remote.NewAgent(64, 0)), rng.Fork(uint64(i)))
+		c.faults = append(c.faults, ft)
+		trs = append(trs, ft)
+	}
+	h, err := remote.NewHost(cfg, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.host = h
+	return c
+}
+
+func (c *testCluster) addAgent() *remote.FaultTransport {
+	i := len(c.faults)
+	ft := remote.NewFaultTransport(i, remote.NewInProc(remote.NewAgent(64, 0)), c.rng.Fork(uint64(0x1000+i)))
+	c.faults = append(c.faults, ft)
+	return ft
+}
+
+func fill(t *testing.T, h *remote.Host, pages int) [][]byte {
+	t.Helper()
+	data := make([][]byte, pages)
+	buf := make([]byte, remote.PageSize)
+	for p := 0; p < pages; p++ {
+		for i := range buf {
+			buf[i] = byte(p + i)
+		}
+		data[p] = append([]byte(nil), buf...)
+		if err := h.WritePage(core.PageID(p), buf); err != nil {
+			t.Fatalf("write page %d: %v", p, err)
+		}
+	}
+	return data
+}
+
+func checkAll(t *testing.T, h *remote.Host, data [][]byte) {
+	t.Helper()
+	buf := make([]byte, remote.PageSize)
+	for p := range data {
+		if err := h.ReadPage(core.PageID(p), buf); err != nil {
+			t.Fatalf("read page %d: %v", p, err)
+		}
+		if string(buf) != string(data[p]) {
+			t.Fatalf("page %d bytes diverged", p)
+		}
+	}
+}
+
+// feed pushes n synthetic call observations at the given latency/error mix.
+func feed(p *Plane, agent, n int, lat sim.Duration, errEvery int) {
+	for i := 0; i < n; i++ {
+		failed := errEvery > 0 && i%errEvery == 0
+		p.ObserveCall(agent, lat, failed)
+	}
+}
+
+func detectorPlane(c *testCluster, hooks Hooks) *Plane {
+	return New(Config{
+		Detector: DetectorConfig{
+			SuspectLat: 100 * sim.Microsecond,
+			FailLat:    400 * sim.Microsecond,
+			SuspectErr: 0.3,
+			FailErr:    0.8,
+			ClearTicks: 2,
+		},
+	}, c.host, hooks)
+}
+
+// TestDetectorSuspectFailRecover walks one agent through the full state
+// machine and checks the host-side effects at each step.
+func TestDetectorSuspectFailRecover(t *testing.T) {
+	c := newTestCluster(t, 4, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 42})
+	data := fill(t, c.host, 64)
+
+	healthy := true
+	p := detectorPlane(c, Hooks{Probe: func(int) bool { return healthy }})
+
+	// Healthy traffic on every agent.
+	now := sim.Time(0)
+	tick := func() []Action { now = now.Add(sim.Millisecond); return p.Tick(now) }
+	for i := 0; i < 3; i++ {
+		for a := 0; a < 4; a++ {
+			feed(p, a, 20, 5*sim.Microsecond, 0)
+		}
+		if acts := tick(); len(acts) != 0 {
+			t.Fatalf("healthy traffic produced actions: %v", acts)
+		}
+	}
+
+	// Agent 2 turns slow: suspect, and the host learns the hint.
+	for i := 0; i < 4; i++ {
+		for a := 0; a < 4; a++ {
+			lat := 5 * sim.Microsecond
+			if a == 2 {
+				lat = 300 * sim.Microsecond
+			}
+			feed(p, a, 20, lat, 0)
+		}
+		tick()
+	}
+	if got := p.AgentPhase(2); got != Suspect {
+		t.Fatalf("phase = %v, want suspect", got)
+	}
+	if slow := c.host.SlowAgents(); len(slow) != 1 || slow[0] != 2 {
+		t.Fatalf("SlowAgents = %v, want [2]", slow)
+	}
+
+	// Now it degrades to outright failure: the plane must MarkFailed and
+	// repair replication on its own.
+	healthy = false
+	for i := 0; i < 6 && p.AgentPhase(2) != Failed; i++ {
+		feed(p, 2, 20, 2*sim.Millisecond, 1)
+		tick()
+	}
+	if got := p.AgentPhase(2); got != Failed {
+		t.Fatalf("phase = %v, want failed", got)
+	}
+	if got := c.host.FailedAgents(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("FailedAgents = %v, want [2]", got)
+	}
+	if n := c.host.UnderReplicated(); n != 0 {
+		t.Fatalf("UnderReplicated = %d after automatic repair", n)
+	}
+	checkAll(t, c.host, data)
+
+	// Probes pass again: probation runs its course and the agent rejoins.
+	healthy = true
+	for i := 0; i < 10 && p.AgentPhase(2) != Healthy; i++ {
+		tick()
+	}
+	if got := p.AgentPhase(2); got != Healthy {
+		t.Fatalf("phase = %v, want healthy after probation", got)
+	}
+	if got := c.host.FailedAgents(); len(got) != 0 {
+		t.Fatalf("FailedAgents = %v after recovery", got)
+	}
+	if slow := c.host.SlowAgents(); len(slow) != 0 {
+		t.Fatalf("SlowAgents = %v after recovery", slow)
+	}
+	checkAll(t, c.host, data)
+}
+
+// TestDetectorFlapDamping verifies a flapping agent pays a longer probation
+// each round.
+func TestDetectorFlapDamping(t *testing.T) {
+	c := newTestCluster(t, 3, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 7})
+	fill(t, c.host, 32)
+
+	p := New(Config{
+		Detector: DetectorConfig{
+			SuspectErr:     0.3,
+			FailErr:        0.6,
+			ClearTicks:     2,
+			ProbationTicks: 2,
+			FlapPenalty:    3,
+		},
+	}, c.host, Hooks{Probe: func(int) bool { return true }})
+
+	now := sim.Time(0)
+	failOnce := func() int {
+		for i := 0; i < 10 && p.AgentPhase(1) != Failed; i++ {
+			feed(p, 1, 10, sim.Microsecond, 1) // 100% errors
+			now = now.Add(sim.Millisecond)
+			p.Tick(now)
+		}
+		if p.AgentPhase(1) != Failed {
+			t.Fatal("agent 1 never failed")
+		}
+		ticks := 0
+		for i := 0; i < 50 && p.AgentPhase(1) != Healthy; i++ {
+			now = now.Add(sim.Millisecond)
+			p.Tick(now)
+			ticks++
+		}
+		if p.AgentPhase(1) != Healthy {
+			t.Fatal("agent 1 never recovered")
+		}
+		return ticks
+	}
+	first := failOnce()
+	second := failOnce()
+	if second <= first {
+		t.Fatalf("probation did not lengthen on flap: first %d ticks, second %d", first, second)
+	}
+}
+
+// TestAutoscalerGrowsAndShrinks drives the load EWMA across the thresholds
+// and expects AddAgent-with-rebalance up, drain-purge down, with the pool
+// bounded and the drained agent reused before provisioning.
+func TestAutoscalerGrowsAndShrinks(t *testing.T) {
+	c := newTestCluster(t, 2, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 9})
+	data := fill(t, c.host, 64)
+
+	provisioned := 0
+	p := New(Config{
+		Scaler: ScalerConfig{
+			Min: 2, Max: 4,
+			HighLat: 50 * sim.Microsecond, LowLat: 10 * sim.Microsecond,
+			UpTicks: 2, DownTicks: 3, Cooldown: 1,
+		},
+	}, c.host, Hooks{Provision: func() (remote.Transport, bool) {
+		provisioned++
+		return c.addAgent(), true
+	}})
+
+	now := sim.Time(0)
+	live := func() int { return p.LiveAgents() }
+
+	// Pressure: all live agents run hot.
+	for i := 0; i < 20 && live() < 4; i++ {
+		for a := 0; a < c.host.Agents(); a++ {
+			feed(p, a, 20, 200*sim.Microsecond, 0)
+		}
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	if got := live(); got != 4 {
+		t.Fatalf("live = %d after sustained pressure, want 4 (max)", got)
+	}
+	if provisioned != 2 {
+		t.Fatalf("provisioned %d agents, want 2", provisioned)
+	}
+	checkAll(t, c.host, data)
+
+	// Idle: the pool drains back to Min, one agent per cooldown window.
+	for i := 0; i < 60 && live() > 2; i++ {
+		for a := 0; a < c.host.Agents(); a++ {
+			feed(p, a, 5, sim.Microsecond, 0)
+		}
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	if got := live(); got != 2 {
+		t.Fatalf("live = %d after sustained idle, want 2 (min)", got)
+	}
+	if got := p.AgentPhase(3); got != Drained {
+		t.Fatalf("agent 3 phase = %v, want drained", got)
+	}
+	checkAll(t, c.host, data)
+
+	// Pressure again: the drained agents are reinstated, not re-provisioned.
+	for i := 0; i < 20 && live() < 4; i++ {
+		for a := 0; a < c.host.Agents(); a++ {
+			feed(p, a, 20, 200*sim.Microsecond, 0)
+		}
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	if got := live(); got != 4 {
+		t.Fatalf("live = %d after renewed pressure, want 4", got)
+	}
+	if provisioned != 2 {
+		t.Fatalf("provisioned %d agents total, want 2 (drained agents must be reused)", provisioned)
+	}
+	checkAll(t, c.host, data)
+}
+
+// TestHotPageReplication feeds a skewed read mix and expects the top pages
+// to gain extra acked holders, then cool off and lose them.
+func TestHotPageReplication(t *testing.T) {
+	c := newTestCluster(t, 4, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 11})
+	data := fill(t, c.host, 64)
+
+	p := New(Config{HotK: 2, HotExtra: 1, HotEvery: 2}, c.host, Hooks{})
+
+	now := sim.Time(0)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 50; j++ {
+			p.ObserveRead(3)
+			p.ObserveRead(17)
+		}
+		p.ObserveRead(core.PageID(20 + i))
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	hot := c.host.HotPages()
+	if len(hot) != 2 || hot[0] != 3 || hot[1] != 17 {
+		t.Fatalf("HotPages = %v, want [3 17]", hot)
+	}
+	for _, page := range hot {
+		holders := c.host.HotHolders(page)
+		if len(holders) != 1 {
+			t.Fatalf("page %d hot holders = %v, want one extra", page, holders)
+		}
+		acked := c.host.AckedReplicas(page)
+		found := false
+		for _, idx := range acked {
+			if idx == holders[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("page %d hot holder %d not in acked set %v", page, holders[0], acked)
+		}
+	}
+	checkAll(t, c.host, data)
+
+	// The heat dies down; decay must demote both pages.
+	for i := 0; i < 16 && len(c.host.HotPages()) > 0; i++ {
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	if hot := c.host.HotPages(); len(hot) != 0 {
+		t.Fatalf("HotPages = %v after cool-off, want none", hot)
+	}
+	checkAll(t, c.host, data)
+}
+
+// TestActionStream checks actions carry the right kinds in order and reach
+// the OnAction hook.
+func TestActionStream(t *testing.T) {
+	c := newTestCluster(t, 3, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 13})
+	fill(t, c.host, 32)
+
+	var streamed []Action
+	p := detectorPlane(c, Hooks{OnAction: func(a Action) { streamed = append(streamed, a) }})
+
+	var all []Action
+	now := sim.Time(0)
+	for i := 0; i < 8; i++ {
+		feed(p, 0, 20, 2*sim.Millisecond, 0)
+		now = now.Add(sim.Millisecond)
+		all = append(all, p.Tick(now)...)
+	}
+	if len(all) < 2 {
+		t.Fatalf("actions = %v, want suspect then fail", all)
+	}
+	if all[0].Kind != ActSuspect || all[0].Agent != 0 {
+		t.Fatalf("first action %v, want suspect agent 0", all[0])
+	}
+	sawFail := false
+	for _, a := range all {
+		if a.Kind == ActFail && a.Agent == 0 {
+			sawFail = true
+		}
+		if a.Err != nil {
+			t.Fatalf("action %v carried host error", a)
+		}
+	}
+	if !sawFail {
+		t.Fatalf("no fail action in %v", all)
+	}
+	if len(streamed) != len(all) {
+		t.Fatalf("OnAction saw %d actions, Tick returned %d", len(streamed), len(all))
+	}
+}
+
+// TestObserveDuringTick exercises the observer path concurrently with ticks
+// under -race: transport observers keep feeding while the plane repairs.
+func TestObserveDuringTick(t *testing.T) {
+	c := newTestCluster(t, 4, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 17})
+	fill(t, c.host, 64)
+
+	p := detectorPlane(c, Hooks{Probe: func(int) bool { return true }})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lat := sim.Duration(i%50) * sim.Microsecond
+				if g == 3 {
+					lat = 2 * sim.Millisecond
+				}
+				p.ObserveCall(g, lat, g == 3 && i%2 == 0)
+				p.ObserveRead(core.PageID(i % 64))
+			}
+		}(g)
+	}
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestActionString pins the rendering used by harness logs.
+func TestActionString(t *testing.T) {
+	a := Action{At: sim.Time(3 * sim.Millisecond), Kind: ActFail, Agent: 2}
+	if got := a.String(); got != "3.00ms fail agent=2" {
+		t.Fatalf("String() = %q", got)
+	}
+	b := Action{At: 0, Kind: ActHotAdd, Agent: -1, Page: 17, Err: errors.New("boom")}
+	if got := b.String(); got != "0ns hot-add page=17 err=boom" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -56,6 +56,8 @@ var figureRegistry = []figureRunner{
 		func(s Scale, seed uint64) string { return fmt.Sprint(Resilience(s, seed)) }},
 	{"scaling", "async ticket engine throughput over agents × queue-depth grid",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Scaling(s, seed)) }},
+	{"elastic", "self-healing control plane: diurnal ramp, static vs detector+autoscaler",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Elastic(s, seed)) }},
 	{"runtime", "end-to-end leap.Memory: prefetchers over a live in-proc remote cluster",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Runtime(s, seed)) }},
 	{"concurrency", "multi-client leap.Memory: modeled throughput over goroutines × clients",

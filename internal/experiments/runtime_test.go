@@ -70,6 +70,7 @@ table1      majority-trend prefetching contrasted with prior prefetcher classes
 13          multi-process isolation: per-process predictors vs global stream
 resilience  chaos harness: scripted faults, failover latency, repair traffic
 scaling     async ticket engine throughput over agents × queue-depth grid
+elastic     self-healing control plane: diurnal ramp, static vs detector+autoscaler
 runtime     end-to-end leap.Memory: prefetchers over a live in-proc remote cluster
 concurrency multi-client leap.Memory: modeled throughput over goroutines × clients
 ablations   design-choice sweeps: majority vote, windows, eviction, isolation

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"leap/internal/core"
+	"leap/internal/sim"
 )
 
 // HostConfig parameterizes a Host.
@@ -23,6 +24,10 @@ type HostConfig struct {
 	// Seed salts the rendezvous placement hash, so distinct hosts sharing
 	// agents spread slabs independently.
 	Seed uint64
+	// Retry bounds retries, deadlines, backoff and hedging in the async
+	// ticket engine (see RetryPolicy). The zero value keeps the legacy
+	// unlimited-failover behavior.
+	Retry RetryPolicy
 }
 
 // DefaultQueueDepth is the default per-agent batch limit of the async
@@ -42,6 +47,7 @@ func (c HostConfig) withDefaults() HostConfig {
 	if c.QueueDepth > MaxBatchOps {
 		c.QueueDepth = MaxBatchOps
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -66,6 +72,17 @@ type HostStats struct {
 	// BatchCalls counts wire frames carrying more than one page;
 	// BatchedPages is the total pages those frames carried.
 	BatchCalls, BatchedPages int64
+	// Retries counts async reads requeued after a failed attempt;
+	// DeadlineFailed counts tickets failed by the per-ticket deadline.
+	Retries, DeadlineFailed int64
+	// HedgedReads counts duplicate reads issued to a second holder because
+	// the preferred target was hinted slow; HedgeWins are hedges whose
+	// duplicate completed first; HedgeDiscards are queue entries dropped
+	// unissued because the racing copy already completed.
+	HedgedReads, HedgeWins, HedgeDiscards int64
+	// HotCopies counts hot-page replica installs (ReplicateHot); HotReads
+	// counts reads served by a hot holder outside the slab placement.
+	HotCopies, HotReads int64
 }
 
 // Host is the machine-local agent of §4.4: it maps the swap address space
@@ -91,6 +108,23 @@ type Host struct {
 	// degraded tracks pages whose most recent write was acknowledged by
 	// fewer than Replicas agents; RepairSlabs re-pushes them.
 	degraded map[core.PageID]bool
+	// retired agents are draining for graceful scale-down: excluded from
+	// rendezvous ranking (so Rebalance migrates their share away) while
+	// remaining fully live copy sources and read targets.
+	retired map[int]bool
+	// slow agents are hinted lagging by the control plane (SetAgentSlow):
+	// reads order away from them, and with RetryPolicy.HedgeReads a read
+	// forced onto one is duplicated to another acked holder.
+	slow map[int]bool
+	// hot maps a page to extra read replicas beyond its slab placement —
+	// the control plane's top-K fault-frequency pages (ReplicateHot).
+	hot map[core.PageID][]int
+
+	// now is the virtual-time source for per-ticket deadlines; onBackoff
+	// receives retry pacing charges (both optional, see SetTimeSource /
+	// SetBackoffObserver).
+	now       func() sim.Time
+	onBackoff func(agent int, d sim.Duration)
 
 	// Async engine state: per-agent FIFO queues of pending operations plus
 	// the coalescing indexes (see queue.go).
@@ -201,14 +235,17 @@ func (h *Host) WritePage(page core.PageID, data []byte) error {
 		h.mu.Unlock()
 		return err
 	}
-	transports := make([]Transport, len(replicas))
-	for i, idx := range replicas {
+	// Hot extra holders receive every write too, or their copies would go
+	// stale the moment the page is written again.
+	targets := h.writeTargets(page, replicas)
+	transports := make([]Transport, len(targets))
+	for i, idx := range targets {
 		transports[i] = h.transports[idx]
 	}
 	h.stats.Writes++
 	h.mu.Unlock()
 
-	ackedIdx := make([]int, 0, len(replicas))
+	ackedIdx := make([]int, 0, len(targets))
 	var lastErr error
 	for i, tr := range transports {
 		resp, err := tr.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: data})
@@ -218,7 +255,7 @@ func (h *Host) WritePage(page core.PageID, data []byte) error {
 		case resp.Status != StatusOK:
 			lastErr = statusError(OpWrite, resp.Status)
 		default:
-			ackedIdx = append(ackedIdx, replicas[i])
+			ackedIdx = append(ackedIdx, targets[i])
 		}
 	}
 	if len(ackedIdx) == 0 {
@@ -298,19 +335,9 @@ func (h *Host) ReadPage(page core.PageID, buf []byte) error {
 	}
 	// Order the attempt list so replicas that acknowledged this page's most
 	// recent write come first: a replica that missed a write (transient
-	// fault) holds stale bytes and must only be a last resort.
-	ackedIdx := h.acked[page]
-	order := make([]int, 0, len(replicas))
-	for _, idx := range replicas {
-		if slices.Contains(ackedIdx, idx) {
-			order = append(order, idx)
-		}
-	}
-	for _, idx := range replicas {
-		if !slices.Contains(order, idx) {
-			order = append(order, idx)
-		}
-	}
+	// fault) holds stale bytes and must only be a last resort. Hot extra
+	// holders and slow-agent avoidance fold into the same ordering.
+	order := h.readCandidates(page, replicas)
 	transports := make([]Transport, len(order))
 	for i, idx := range order {
 		transports[i] = h.transports[idx]
@@ -327,9 +354,14 @@ func (h *Host) ReadPage(page core.PageID, buf []byte) error {
 		case resp.Status != StatusOK:
 			lastErr = statusError(OpRead, resp.Status)
 		default:
-			if i > 0 {
+			if i > 0 || !slices.Contains(replicas, order[i]) {
 				h.mu.Lock()
-				h.stats.Failovers++
+				if i > 0 {
+					h.stats.Failovers++
+				}
+				if !slices.Contains(replicas, order[i]) {
+					h.stats.HotReads++
+				}
 				h.mu.Unlock()
 			}
 			copy(buf, resp.Payload)

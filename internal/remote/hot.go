@@ -1,0 +1,216 @@
+package remote
+
+import (
+	"fmt"
+	"slices"
+
+	"leap/internal/core"
+)
+
+// Hot-page read replicas: the control plane promotes the top-K
+// fault-frequency pages to extra copies beyond their slab placement, so the
+// hottest reads can be served by whichever acked holder is least loaded (or
+// not hinted slow) instead of always hammering the same two replicas. A hot
+// copy is readable only once certified fresh — it joins the page's ack set
+// when installed from an acked source and on every subsequent write, exactly
+// like a placement replica — so the staleness discipline is unchanged.
+
+// readCandidates returns the ordered attempt list for a page read: acked
+// holders first (placement order, hot extras after), then the unacked rest.
+// When the control plane has hinted agents slow, each group orders not-slow
+// before slow — routing around lag without ever dropping a candidate. With
+// no hot copies and no slow hints this is exactly the legacy acked-first
+// ordering. Callers hold h.mu.
+func (h *Host) readCandidates(page core.PageID, replicas []int) []int {
+	cands := replicas
+	if extra := h.hot[page]; len(extra) > 0 {
+		cands = slices.Clone(replicas)
+		for _, idx := range extra {
+			if !slices.Contains(cands, idx) {
+				cands = append(cands, idx)
+			}
+		}
+	}
+	acked := h.acked[page]
+	order := make([]int, 0, len(cands))
+	appendGroup := func(wantAcked, wantSlow bool) {
+		for _, idx := range cands {
+			if slices.Contains(acked, idx) == wantAcked && h.slow[idx] == wantSlow {
+				order = append(order, idx)
+			}
+		}
+	}
+	if len(h.slow) == 0 {
+		appendGroup(true, false)
+		appendGroup(false, false)
+		return order
+	}
+	appendGroup(true, false)
+	appendGroup(true, true)
+	appendGroup(false, false)
+	appendGroup(false, true)
+	return order
+}
+
+// writeTargets returns the write fan-out set for page: the slab replicas
+// plus any hot extra holders (deduplicated, placement order first). Callers
+// hold h.mu.
+func (h *Host) writeTargets(page core.PageID, replicas []int) []int {
+	extra := h.hot[page]
+	if len(extra) == 0 {
+		return replicas
+	}
+	targets := slices.Clone(replicas)
+	for _, idx := range extra {
+		if !slices.Contains(targets, idx) {
+			targets = append(targets, idx)
+		}
+	}
+	return targets
+}
+
+// ReplicateHot installs extra read replicas for page until it has up to
+// extra hot holders beyond its slab placement, choosing the best
+// rendezvous-ranked live agents not already holding a copy. The page bytes
+// are copied from a holder that acknowledged the latest write; with no live
+// acked source the call is a no-op (an uncertifiable copy could never be
+// read anyway). Unreachable targets are skipped best-effort. It reports how
+// many copies were installed.
+func (h *Host) ReplicateHot(page core.PageID, extra int) (added int, err error) {
+	slab, off := h.locate(page)
+
+	h.mu.Lock()
+	replicas, ok := h.placements[slab]
+	if !ok {
+		h.mu.Unlock()
+		return 0, fmt.Errorf("remote: ReplicateHot(%d): page's slab is not placed", page)
+	}
+	have := h.hot[page]
+	need := extra - len(have)
+	if need <= 0 {
+		h.mu.Unlock()
+		return 0, nil
+	}
+	// Source: a live holder that acked the latest write.
+	srcIdx := -1
+	for _, idx := range h.acked[page] {
+		if !h.failed[idx] {
+			srcIdx = idx
+			break
+		}
+	}
+	if srcIdx < 0 {
+		h.mu.Unlock()
+		return 0, nil
+	}
+	exclude := make(map[int]bool, len(replicas)+len(have))
+	for _, idx := range replicas {
+		exclude[idx] = true
+	}
+	for _, idx := range have {
+		exclude[idx] = true
+	}
+	ranked := h.rendezvousRank(slab, exclude)
+	src := h.transports[srcIdx]
+	h.mu.Unlock()
+
+	rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+	if err != nil {
+		return 0, fmt.Errorf("remote: ReplicateHot(%d) read source: %w", page, err)
+	}
+	if rd.Status != StatusOK {
+		return 0, statusError(OpRead, rd.Status)
+	}
+
+	for _, target := range ranked {
+		if added == need {
+			break
+		}
+		h.mu.Lock()
+		tr := h.transports[target]
+		h.mu.Unlock()
+		if resp, err := tr.Call(&Request{Op: OpMapSlab, Slab: slab}); err != nil || resp.Status != StatusOK {
+			continue // unreachable; try the next ranked agent
+		}
+		if resp, err := tr.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: rd.Payload}); err != nil || resp.Status != StatusOK {
+			continue
+		}
+		h.mu.Lock()
+		if h.hot == nil {
+			h.hot = make(map[core.PageID][]int)
+		}
+		h.hot[page] = append(h.hot[page], target)
+		if acked, ok := h.acked[page]; ok && !slices.Contains(acked, target) {
+			h.acked[page] = append(acked, target)
+		}
+		h.stats.HotCopies++
+		h.mu.Unlock()
+		added++
+	}
+	return added, nil
+}
+
+// DropHot demotes page back to its plain slab placement: hot holders leave
+// the ack set (so no read path consults a copy that will no longer receive
+// writes) and the hot entry is removed. The bytes on the former holders are
+// simply abandoned — nothing references them.
+func (h *Host) DropHot(page core.PageID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	holders := h.hot[page]
+	if len(holders) == 0 {
+		return
+	}
+	delete(h.hot, page)
+	if acked, ok := h.acked[page]; ok {
+		rest := slices.DeleteFunc(slices.Clone(acked), func(r int) bool {
+			return slices.Contains(holders, r)
+		})
+		if len(rest) == 0 {
+			// Every acked copy was a hot holder (the placement replicas all
+			// missed the write): the write is no longer recoverable as-acked.
+			delete(h.acked, page)
+			delete(h.degraded, page)
+		} else {
+			h.acked[page] = rest
+		}
+	}
+}
+
+// HotPages reports the pages currently carrying hot extra replicas, sorted.
+func (h *Host) HotPages() []core.PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]core.PageID, 0, len(h.hot))
+	for page := range h.hot {
+		out = append(out, page)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// HotHolders reports (a copy of) the extra holders for page, if any.
+func (h *Host) HotHolders(page core.PageID) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return slices.Clone(h.hot[page])
+}
+
+// dropAgentFromHotLocked removes agent idx from every hot holder set — the
+// scrub shared by PurgeAgent and slab migration. A page whose hot set
+// empties is demoted (its entry is deleted); the ack-set scrub is the
+// caller's responsibility (purge and migration already handle acked).
+// Callers hold h.mu.
+func (h *Host) dropAgentFromHotLocked(idx int) {
+	for page, holders := range h.hot {
+		if !slices.Contains(holders, idx) {
+			continue
+		}
+		rest := slices.DeleteFunc(slices.Clone(holders), func(r int) bool { return r == idx })
+		if len(rest) == 0 {
+			delete(h.hot, page)
+		} else {
+			h.hot[page] = rest
+		}
+	}
+}

@@ -30,9 +30,9 @@ func hrwScore(seed uint64, slab SlabID, idx int) uint64 {
 	return x
 }
 
-// rendezvousRank returns the live (not failed, not excluded) agent indices
-// ordered by descending rendezvous score for slab, ties broken by index.
-// Callers hold h.mu.
+// rendezvousRank returns the live (not failed, not retired, not excluded)
+// agent indices ordered by descending rendezvous score for slab, ties
+// broken by index. Callers hold h.mu.
 func (h *Host) rendezvousRank(slab SlabID, exclude map[int]bool) []int {
 	type scored struct {
 		idx   int
@@ -40,7 +40,7 @@ func (h *Host) rendezvousRank(slab SlabID, exclude map[int]bool) []int {
 	}
 	ranked := make([]scored, 0, len(h.transports))
 	for i := range h.transports {
-		if h.failed[i] || exclude[i] {
+		if h.failed[i] || h.retired[i] || exclude[i] {
 			continue
 		}
 		ranked = append(ranked, scored{i, hrwScore(h.cfg.Seed, slab, i)})
@@ -95,6 +95,48 @@ func (h *Host) Agents() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.transports)
+}
+
+// Retire marks agent idx as draining for graceful scale-down: it leaves
+// the rendezvous ranking — new placements skip it and the next Rebalance
+// migrates its slab share away — but unlike MarkFailed it stays a fully
+// live copy source and read target, so draining never reduces the set of
+// fresh copies. The scale-down sequence is Retire → Rebalance →
+// PurgeAgent; call Reinstate to roll a drain back.
+func (h *Host) Retire(idx int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx < 0 || idx >= len(h.transports) {
+		return fmt.Errorf("remote: Retire(%d) out of range", idx)
+	}
+	if h.retired == nil {
+		h.retired = make(map[int]bool)
+	}
+	h.retired[idx] = true
+	return nil
+}
+
+// Reinstate cancels a Retire: the agent rejoins the rendezvous ranking.
+func (h *Host) Reinstate(idx int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if idx < 0 || idx >= len(h.transports) {
+		return fmt.Errorf("remote: Reinstate(%d) out of range", idx)
+	}
+	delete(h.retired, idx)
+	return nil
+}
+
+// RetiredAgents reports the indices currently draining, sorted.
+func (h *Host) RetiredAgents() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.retired))
+	for i := range h.retired {
+		out = append(out, i)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Rebalance converges every placed slab onto its rendezvous target set —
@@ -207,6 +249,19 @@ func (h *Host) migrateSlab(slab SlabID, current, desired []int) error {
 				delete(h.degraded, page)
 			} else {
 				h.acked[page] = rest
+			}
+		}
+		if holders, ok := h.hot[page]; ok {
+			// A leaver's slab copy is being freed, and a newcomer's hot copy
+			// is now a full placement replica: neither belongs in the hot
+			// extra set any longer.
+			rest := slices.DeleteFunc(slices.Clone(holders), func(r int) bool {
+				return slices.Contains(leavers, r) || slices.Contains(desired, r)
+			})
+			if len(rest) == 0 {
+				delete(h.hot, page)
+			} else {
+				h.hot[page] = rest
 			}
 		}
 	}

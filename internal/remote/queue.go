@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"leap/internal/core"
+	"leap/internal/sim"
 )
 
 // The async engine: ReadPageAsync/WritePageAsync enqueue page operations
@@ -69,6 +70,19 @@ type pendingRead struct {
 	bufs    [][]byte
 	tickets []*Ticket
 	tried   []int // agents already attempted (failover history)
+
+	// Retry/hedge state (see RetryPolicy). attempts counts transport
+	// attempts consumed; deadline (0 = none) is the absolute virtual-time
+	// budget; inflight counts queue entries currently referencing this read
+	// (2 while a hedge races); primary is the first agent targeted, for
+	// hedge-win attribution; done marks completion — entries still queued
+	// for a completed read are discarded unissued at drain time.
+	attempts int
+	deadline sim.Time
+	inflight int
+	primary  int
+	hedged   bool
+	done     bool
 }
 
 // pendingWrite is one queued page write, fanned out to every replica of its
@@ -79,10 +93,11 @@ type pendingWrite struct {
 	off  uint32
 
 	data     []byte // the host's own copy of the page image
-	replicas []int  // replica set at enqueue time
+	replicas []int  // replica set at enqueue time (placement + hot holders)
 	resolved int    // replica sub-operations completed (ok or failed)
 	acked    []int
 	lastErr  error
+	lastIdx  int // agent behind lastErr, for the failure's op context
 	ticket   *Ticket
 	// superseded holds tickets of earlier writes to the same page that this
 	// write replaced before the flush; they complete with its outcome.
@@ -104,7 +119,8 @@ type queueEntry struct {
 func (h *Host) ReadPageAsync(page core.PageID, buf []byte) *Ticket {
 	t := &Ticket{host: h}
 	if len(buf) != PageSize {
-		return h.failTicket(t, fmt.Errorf("remote: ReadPageAsync with %d-byte buffer, want %d", len(buf), PageSize))
+		return h.failTicket(t, opError(OpRead, -1, page, 0,
+			fmt.Errorf("buffer is %d bytes, want %d", len(buf), PageSize)))
 	}
 	slab, off := h.locate(page)
 
@@ -129,18 +145,35 @@ func (h *Host) ReadPageAsync(page core.PageID, buf []byte) *Ticket {
 	replicas, ok := h.placements[slab]
 	if !ok {
 		t.done = true
-		t.err = fmt.Errorf("remote: read of never-written page %d", page)
+		t.err = opError(OpRead, -1, page, 0, ErrNeverWritten)
 		return t
 	}
 	pr := &pendingRead{page: page, slab: slab, off: off, bufs: [][]byte{buf}, tickets: []*Ticket{t}}
 	target := h.readOrder(page, replicas, nil)
 	if target < 0 {
 		t.done = true
-		t.err = fmt.Errorf("remote: read page %d: no replica available", page)
+		t.err = opError(OpRead, -1, page, 0, ErrNoReplica)
 		return t
 	}
+	pol := h.cfg.Retry
+	if pol.Deadline > 0 && h.now != nil {
+		pr.deadline = h.now().Add(pol.Deadline)
+	}
+	pr.primary = target
 	h.readsPending[page] = pr
 	h.queues[target] = append(h.queues[target], queueEntry{read: pr})
+	pr.inflight = 1
+	if pol.HedgeReads && h.slow[target] {
+		// The best candidate is hinted slow: duplicate the read onto the
+		// next holder so the slow agent costs one extra frame, not a stall.
+		// First completion wins; the loser is discarded unissued.
+		if second := h.readOrder(page, replicas, []int{target}); second >= 0 && !h.slow[second] {
+			h.queues[second] = append(h.queues[second], queueEntry{read: pr})
+			pr.inflight++
+			pr.hedged = true
+			h.stats.HedgedReads++
+		}
+	}
 	h.stats.Reads++
 	return t
 }
@@ -175,7 +208,7 @@ func (h *Host) WritePageAsync(page core.PageID, data []byte) *Ticket {
 		// h.mu is already held here; completing inline avoids failTicket's
 		// re-lock.
 		t.done = true
-		t.err = err
+		t.err = opError(OpWrite, -1, page, 0, err)
 		return t
 	}
 	pw := &pendingWrite{
@@ -183,7 +216,8 @@ func (h *Host) WritePageAsync(page core.PageID, data []byte) *Ticket {
 		slab:     slab,
 		off:      off,
 		data:     h.pageBuf(),
-		replicas: slices.Clone(replicas),
+		replicas: slices.Clone(h.writeTargets(page, replicas)),
+		lastIdx:  -1,
 		ticket:   t,
 	}
 	copy(pw.data, data)
@@ -233,17 +267,12 @@ func (h *Host) pageBuf() []byte {
 	return make([]byte, PageSize)
 }
 
-// readOrder returns the preferred replica for a page read: acked replicas
-// first (in placement order), then the rest, skipping already-tried agents.
-// -1 when every replica has been tried. Callers hold h.mu.
+// readOrder returns the preferred holder for a page read — the first
+// readCandidates entry (acked first, hot extras included, slow agents
+// last) not already tried — or -1 when every candidate has been tried.
+// Callers hold h.mu.
 func (h *Host) readOrder(page core.PageID, replicas []int, tried []int) int {
-	acked := h.acked[page]
-	for _, idx := range replicas {
-		if slices.Contains(acked, idx) && !slices.Contains(tried, idx) {
-			return idx
-		}
-	}
-	for _, idx := range replicas {
+	for _, idx := range h.readCandidates(page, replicas) {
 		if !slices.Contains(tried, idx) {
 			return idx
 		}
@@ -275,18 +304,39 @@ func (h *Host) flushLocked() error {
 }
 
 // drainAgent issues one batch (a contiguous run of same-kind entries, up to
-// QueueDepth) from agent idx's queue. Callers hold h.mu.
+// QueueDepth) from agent idx's queue. Reads that already completed
+// elsewhere — the losing half of a hedge — are discarded unissued: they
+// consume no wire slot and charge no latency. Callers hold h.mu.
 func (h *Host) drainAgent(idx int) error {
 	q := h.queues[idx]
-	n := 1
-	isRead := q[0].read != nil
-	for n < len(q) && n < h.cfg.QueueDepth && (q[n].read != nil) == isRead {
-		n++
+	var batch []queueEntry
+	isRead := false
+	consumed := 0
+	for consumed < len(q) {
+		e := q[consumed]
+		if e.read != nil && e.read.done {
+			e.read.inflight--
+			h.stats.HedgeDiscards++
+			consumed++
+			continue
+		}
+		if len(batch) == 0 {
+			isRead = e.read != nil
+		} else if (e.read != nil) != isRead || len(batch) == h.cfg.QueueDepth {
+			break
+		}
+		if e.read != nil {
+			e.read.inflight--
+		}
+		batch = append(batch, e)
+		consumed++
 	}
-	batch := q[:n]
-	h.queues[idx] = q[n:]
+	h.queues[idx] = q[consumed:]
 	if len(h.queues[idx]) == 0 {
 		h.queues[idx] = nil // release the backing array between doorbells
+	}
+	if len(batch) == 0 {
+		return nil
 	}
 	if isRead {
 		return h.issueReads(idx, batch)
@@ -302,6 +352,7 @@ func (h *Host) issueReads(idx int, batch []queueEntry) error {
 	var err error
 	if len(batch) == 1 {
 		pr := batch[0].read
+		pr.attempts++
 		resp, err = tr.Call(&Request{Op: OpRead, Slab: pr.slab, PageOff: pr.off})
 		if err == nil && resp.Status == StatusOK {
 			h.completeRead(batch[0].read, idx, resp.Payload)
@@ -317,6 +368,7 @@ func (h *Host) issueReads(idx int, batch []queueEntry) error {
 
 	refs := make([]BatchRef, len(batch))
 	for i, e := range batch {
+		e.read.attempts++
 		refs[i] = BatchRef{Slab: e.read.slab, PageOff: e.read.off}
 	}
 	req, encErr := EncodeReadBatch(refs)
@@ -362,32 +414,63 @@ func (h *Host) completeRead(pr *pendingRead, idx int, data []byte) {
 	if len(pr.tried) > 0 {
 		h.stats.Failovers++
 	}
+	if pr.hedged && idx != pr.primary {
+		h.stats.HedgeWins++
+	}
+	pr.done = true
 	delete(h.readsPending, pr.page)
 	for _, t := range pr.tickets {
 		t.done = true
 	}
 }
 
-// retryRead requeues a failed read on the next untried replica, or
-// completes its tickets with an error when none remains. Callers hold h.mu.
+// retryRead handles a failed read attempt: under the retry policy it either
+// requeues on the next untried holder (charging backoff pacing through the
+// observer), defers to a still-racing hedge twin, or fails the tickets with
+// a uniform OpError carrying the last agent and the cause. Callers hold
+// h.mu.
 func (h *Host) retryRead(pr *pendingRead, idx int, err error, status uint8) {
 	pr.tried = append(pr.tried, idx)
 	lastErr := err
 	if lastErr == nil && status != StatusOK {
 		lastErr = statusError(OpRead, status)
 	}
+	if pr.inflight > 0 {
+		// A hedge twin is still queued on another agent: let it race before
+		// deciding this read's fate.
+		return
+	}
+	fail := func(cause error) {
+		pr.done = true
+		delete(h.readsPending, pr.page)
+		ferr := opError(OpRead, idx, pr.page, pr.attempts, cause)
+		for _, t := range pr.tickets {
+			t.done = true
+			t.err = ferr
+		}
+	}
+	pol := h.cfg.Retry
+	if pr.deadline > 0 && h.now != nil && h.now() >= pr.deadline {
+		h.stats.DeadlineFailed++
+		fail(fmt.Errorf("%w (last: %v)", ErrDeadlineExceeded, lastErr))
+		return
+	}
+	if pol.MaxAttempts > 0 && pr.attempts >= pol.MaxAttempts {
+		fail(fmt.Errorf("%w (last: %v)", ErrAttemptsExhausted, lastErr))
+		return
+	}
 	replicas := h.placements[pr.slab]
 	next := h.readOrder(pr.page, replicas, pr.tried)
 	if next >= 0 {
+		if d := pol.backoffFor(pr.page, pr.attempts); d > 0 && h.onBackoff != nil {
+			h.onBackoff(next, d)
+		}
+		h.stats.Retries++
+		pr.inflight++
 		h.queues[next] = append(h.queues[next], queueEntry{read: pr})
 		return
 	}
-	delete(h.readsPending, pr.page)
-	ferr := fmt.Errorf("remote: read page %d failed on all replicas: %w", pr.page, lastErr)
-	for _, t := range pr.tickets {
-		t.done = true
-		t.err = ferr
-	}
+	fail(fmt.Errorf("%w: %v", ErrAllReplicasFailed, lastErr))
 }
 
 // issueWrites sends a write batch to agent idx and resolves the per-replica
@@ -401,6 +484,7 @@ func (h *Host) issueWrites(idx int, batch []queueEntry) error {
 			pw.acked = append(pw.acked, idx)
 		} else if err != nil {
 			pw.lastErr = err
+			pw.lastIdx = idx
 		}
 		if pw.resolved == len(pw.replicas) {
 			if ferr := h.finishWrite(pw); ferr != nil && firstErr == nil {
@@ -469,7 +553,8 @@ func (h *Host) finishWrite(pw *pendingWrite) error {
 	delete(h.dirty, pw.page)
 	var err error
 	if len(pw.acked) == 0 {
-		err = fmt.Errorf("remote: write page %d failed on all replicas: %w", pw.page, pw.lastErr)
+		err = opError(OpWrite, pw.lastIdx, pw.page, len(pw.replicas),
+			fmt.Errorf("%w: %v", ErrAllReplicasFailed, pw.lastErr))
 	} else {
 		h.acked[pw.page] = pw.acked
 		if len(pw.acked) < h.cfg.Replicas {

@@ -61,6 +61,7 @@ func (h *Host) PurgeAgent(idx int) (dropped int, err error) {
 			h.placements[slab] = rest
 		}
 	}
+	h.dropAgentFromHotLocked(idx)
 	for page, acked := range h.acked {
 		if !slices.Contains(acked, idx) {
 			continue

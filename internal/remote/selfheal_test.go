@@ -1,0 +1,585 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"leap/internal/core"
+	"leap/internal/sim"
+)
+
+// failAfter wraps a Transport and starts failing every call once limit
+// successful calls have gone through — a link that dies mid-migration.
+type failAfter struct {
+	inner Transport
+	mu    sync.Mutex
+	calls int
+	limit int // -1 = never fail
+}
+
+func (f *failAfter) Call(req *Request) (*Response, error) {
+	f.mu.Lock()
+	f.calls++
+	fail := f.limit >= 0 && f.calls > f.limit
+	f.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("remote: link down (injected)")
+	}
+	return f.inner.Call(req)
+}
+
+func (f *failAfter) Close() error { return f.inner.Close() }
+
+func (f *failAfter) heal() {
+	f.mu.Lock()
+	f.limit = -1
+	f.mu.Unlock()
+}
+
+// hookTransport wraps a Transport and runs hook once, on the first call
+// after arm() — the lever for injecting a state change (e.g. MarkRecovered)
+// in the middle of a multi-call repair pass.
+type hookTransport struct {
+	inner Transport
+	mu    sync.Mutex
+	armed *bool // shared across wrappers so only the first call fires
+	hook  func()
+}
+
+func (h *hookTransport) Call(req *Request) (*Response, error) {
+	h.mu.Lock()
+	fire := *h.armed
+	if fire {
+		*h.armed = false
+	}
+	h.mu.Unlock()
+	if fire {
+		h.hook()
+	}
+	return h.inner.Call(req)
+}
+
+func (h *hookTransport) Close() error { return h.inner.Close() }
+
+// checkFresh asserts every page in [0, pages) reads back want(p) through the
+// host, and that every agent in the page's ack set actually serves those
+// bytes when read directly — an acked index pointing at a stale or wiped
+// copy is a bookkeeping lie waiting to become a wrong read.
+func checkFresh(t *testing.T, h *Host, pages int, want func(p core.PageID) []byte) {
+	t.Helper()
+	buf := make([]byte, PageSize)
+	for p := core.PageID(0); p < core.PageID(pages); p++ {
+		if err := h.ReadPage(p, buf); err != nil {
+			t.Fatalf("page %d: read: %v", p, err)
+		}
+		if !bytes.Equal(buf, want(p)) {
+			t.Fatalf("page %d: host read returned stale bytes", p)
+		}
+		slab, off := h.locate(p)
+		h.mu.Lock()
+		acked := append([]int(nil), h.acked[p]...)
+		trs := make([]Transport, len(acked))
+		for i, idx := range acked {
+			trs[i] = h.transports[idx]
+		}
+		h.mu.Unlock()
+		for i, tr := range trs {
+			resp, err := tr.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+			if err != nil || resp.Status != StatusOK {
+				t.Fatalf("page %d: acked agent %d unreadable: %v", p, acked[i], err)
+			}
+			if !bytes.Equal(resp.Payload, want(p)) {
+				t.Fatalf("page %d: acked agent %d holds stale bytes", p, acked[i])
+			}
+		}
+	}
+}
+
+// TestRebalanceMidMigrationFailure: a copy failure partway through a
+// Rebalance must leave placement and ack bookkeeping consistent — migrated
+// slabs stay migrated, the half-copied slab keeps its old placement, no
+// acked set points at a partial copy — and rerunning Rebalance after the
+// link heals converges.
+func TestRebalanceMidMigrationFailure(t *testing.T) {
+	const slabPages, pages = 8, 64
+	h, _ := buildCluster(t, 3, slabPages, 11)
+	latest := func(p core.PageID) []byte { return pageOf(byte(p)) }
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, latest(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fourth agent joins behind a link that dies after 15 calls: one full
+	// slab copy (map + 8 page writes) lands, the second dies mid-slab.
+	fa := &failAfter{inner: NewInProc(NewAgent(slabPages, 0)), limit: 15}
+	newIdx := h.AddAgent(fa)
+
+	moved, err := h.Rebalance()
+	if err == nil {
+		t.Fatal("rebalance over a dead link reported success")
+	}
+	if moved < 1 {
+		t.Fatalf("no slab migrated before the failure (moved=%d); the mid-migration case was not exercised", moved)
+	}
+
+	// Consistency with the newcomer unreachable: every page still reads
+	// fresh, and nothing acked points at the half-copied slab on the
+	// newcomer (its index may appear only for fully-migrated slabs).
+	buf := make([]byte, PageSize)
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.ReadPage(p, buf); err != nil {
+			t.Fatalf("page %d unreadable after failed rebalance: %v", p, err)
+		}
+		if !bytes.Equal(buf, latest(p)) {
+			t.Fatalf("page %d stale after failed rebalance", p)
+		}
+	}
+	h.mu.Lock()
+	for slab, replicas := range h.placements {
+		for _, idx := range replicas {
+			if idx < 0 || idx > newIdx {
+				h.mu.Unlock()
+				t.Fatalf("slab %d placement %v references unknown agent", slab, replicas)
+			}
+		}
+	}
+	h.mu.Unlock()
+
+	// Heal and rerun: the remaining share migrates, a further run is a
+	// no-op, and every acked copy — including those on the newcomer — is
+	// byte-fresh.
+	fa.heal()
+	if _, err := h.Rebalance(); err != nil {
+		t.Fatalf("rebalance after heal: %v", err)
+	}
+	if again, err := h.Rebalance(); err != nil || again != 0 {
+		t.Fatalf("rebalance did not converge: moved=%d err=%v", again, err)
+	}
+	if load := h.SlabLoad()[newIdx]; load == 0 {
+		t.Fatal("converged rebalance left the new agent empty")
+	}
+	checkFresh(t, h, pages, latest)
+}
+
+// TestTicketFailureContexts pins the uniform failure shape of the async
+// ticket engine: every error is an *OpError carrying the operation, the
+// page, the last agent index involved and the attempts consumed, with the
+// cause reachable through errors.Is.
+func TestTicketFailureContexts(t *testing.T) {
+	const page = core.PageID(3)
+	latest := pageOf(1)
+
+	// holders reports the page's placement replicas in read order.
+	holders := func(h *Host) []int {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		slab, _ := h.locate(page)
+		return append([]int(nil), h.readCandidates(page, h.placements[slab])...)
+	}
+
+	cases := []struct {
+		name  string
+		retry RetryPolicy
+		run   func(t *testing.T, h *Host, inprocs []*InProc) error
+
+		wantErr      bool
+		wantCause    error
+		wantOp       uint8
+		wantAgent    int // -1 = pre-dispatch failure, -2 = any valid index
+		wantAttempts int // -1 = don't check
+	}{
+		{
+			name: "read-never-written",
+			run: func(t *testing.T, h *Host, _ []*InProc) error {
+				return h.ReadPageAsync(page, make([]byte, PageSize)).Wait()
+			},
+			wantErr: true, wantCause: ErrNeverWritten,
+			wantOp: OpRead, wantAgent: -1, wantAttempts: 0,
+		},
+		{
+			name: "read-bad-buffer",
+			run: func(t *testing.T, h *Host, _ []*InProc) error {
+				return h.ReadPageAsync(page, make([]byte, 8)).Wait()
+			},
+			wantErr: true,
+			wantOp:  OpRead, wantAgent: -1, wantAttempts: 0,
+		},
+		{
+			name: "read-all-holders-down",
+			run: func(t *testing.T, h *Host, inprocs []*InProc) error {
+				if err := h.WritePage(page, latest); err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range inprocs {
+					p.SetFailed(true)
+				}
+				return h.ReadPageAsync(page, make([]byte, PageSize)).Wait()
+			},
+			wantErr: true, wantCause: ErrAllReplicasFailed,
+			wantOp: OpRead, wantAgent: -2, wantAttempts: 2,
+		},
+		{
+			name:  "read-deadline-exceeded",
+			retry: RetryPolicy{Deadline: 100 * sim.Microsecond},
+			run: func(t *testing.T, h *Host, inprocs []*InProc) error {
+				var now sim.Time
+				h.SetTimeSource(func() sim.Time { return now })
+				if err := h.WritePage(page, latest); err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range inprocs {
+					p.SetFailed(true)
+				}
+				tk := h.ReadPageAsync(page, make([]byte, PageSize))
+				now = now.Add(200 * sim.Microsecond) // budget elapses in flight
+				err := tk.Wait()
+				if got := h.Stats().DeadlineFailed; got != 1 {
+					t.Fatalf("DeadlineFailed = %d, want 1", got)
+				}
+				return err
+			},
+			wantErr: true, wantCause: ErrDeadlineExceeded,
+			wantOp: OpRead, wantAgent: -2, wantAttempts: 1,
+		},
+		{
+			name:  "read-attempts-exhausted",
+			retry: RetryPolicy{MaxAttempts: 1},
+			run: func(t *testing.T, h *Host, inprocs []*InProc) error {
+				if err := h.WritePage(page, latest); err != nil {
+					t.Fatal(err)
+				}
+				inprocs[holders(h)[0]].SetFailed(true)
+				return h.ReadPageAsync(page, make([]byte, PageSize)).Wait()
+			},
+			wantErr: true, wantCause: ErrAttemptsExhausted,
+			wantOp: OpRead, wantAgent: -2, wantAttempts: 1,
+		},
+		{
+			name: "read-requeue-after-failover",
+			run: func(t *testing.T, h *Host, inprocs []*InProc) error {
+				if err := h.WritePage(page, latest); err != nil {
+					t.Fatal(err)
+				}
+				inprocs[holders(h)[0]].SetFailed(true)
+				buf := make([]byte, PageSize)
+				if err := h.ReadPageAsync(page, buf).Wait(); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, latest) {
+					t.Fatal("failover read returned stale bytes")
+				}
+				st := h.Stats()
+				if st.Retries == 0 || st.Failovers == 0 {
+					t.Fatalf("failover not requeued: retries=%d failovers=%d", st.Retries, st.Failovers)
+				}
+				return nil
+			},
+		},
+		{
+			name:  "read-backoff-charged-on-requeue",
+			retry: RetryPolicy{MaxAttempts: 4, BackoffBase: 10 * sim.Microsecond},
+			run: func(t *testing.T, h *Host, inprocs []*InProc) error {
+				var paused sim.Duration
+				h.SetBackoffObserver(func(agent int, d sim.Duration) { paused += d })
+				if err := h.WritePage(page, latest); err != nil {
+					t.Fatal(err)
+				}
+				inprocs[holders(h)[0]].SetFailed(true)
+				buf := make([]byte, PageSize)
+				if err := h.ReadPageAsync(page, buf).Wait(); err != nil {
+					return err
+				}
+				if paused <= 0 {
+					t.Fatal("retry requeued without charging backoff")
+				}
+				return nil
+			},
+		},
+		{
+			name: "write-all-replicas-down",
+			run: func(t *testing.T, h *Host, inprocs []*InProc) error {
+				if err := h.WritePage(page, latest); err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range inprocs {
+					p.SetFailed(true)
+				}
+				return h.WritePageAsync(page, pageOf(9)).Wait()
+			},
+			wantErr: true, wantCause: ErrAllReplicasFailed,
+			wantOp: OpWrite, wantAgent: -2, wantAttempts: 2,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inprocs := make([]*InProc, 3)
+			trs := make([]Transport, 3)
+			for i := range inprocs {
+				inprocs[i] = NewInProc(NewAgent(8, 0))
+				trs[i] = inprocs[i]
+			}
+			h, err := NewHost(HostConfig{SlabPages: 8, Replicas: 2, Seed: 11, Retry: tc.retry}, trs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = tc.run(t, h, inprocs)
+			if !tc.wantErr {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			var oe *OpError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error is not an *OpError: %v", err)
+			}
+			if tc.wantCause != nil && !errors.Is(err, tc.wantCause) {
+				t.Fatalf("cause %v not reachable in %v", tc.wantCause, err)
+			}
+			if oe.Op != tc.wantOp {
+				t.Fatalf("Op = %d, want %d (%v)", oe.Op, tc.wantOp, err)
+			}
+			if oe.Page != page {
+				t.Fatalf("Page = %d, want %d (%v)", oe.Page, page, err)
+			}
+			switch tc.wantAgent {
+			case -1:
+				if oe.Agent != -1 {
+					t.Fatalf("Agent = %d, want -1 (%v)", oe.Agent, err)
+				}
+			case -2:
+				if oe.Agent < 0 || oe.Agent >= 3 {
+					t.Fatalf("Agent = %d, want a valid index (%v)", oe.Agent, err)
+				}
+			}
+			if tc.wantAttempts >= 0 && oe.Attempts != tc.wantAttempts {
+				t.Fatalf("Attempts = %d, want %d (%v)", oe.Attempts, tc.wantAttempts, err)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("page %d", page)) {
+				t.Fatalf("rendered error lost the page context: %v", err)
+			}
+		})
+	}
+}
+
+// TestRecoverDuringRepair: MarkRecovered landing in the middle of a
+// RepairSlabs pass (fired from inside a transport call, where the host lock
+// is released) must not corrupt bookkeeping — the pass completes, the
+// recovered agent rejoins placement via Rebalance with fresh copies only,
+// and no acked index ever points at stale bytes.
+func TestRecoverDuringRepair(t *testing.T) {
+	const slabPages, pages = 8, 64
+	inprocs := make([]*InProc, 4)
+	trs := make([]Transport, 4)
+	armed := false
+	for i := range inprocs {
+		inprocs[i] = NewInProc(NewAgent(slabPages, 0))
+		trs[i] = inprocs[i]
+	}
+	h, err := NewHost(HostConfig{SlabPages: slabPages, Replicas: 2, Seed: 11}, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the survivors so the first repair-pass transport call un-fails
+	// agent 0 mid-pass.
+	hook := func() {
+		inprocs[0].SetFailed(false)
+		if err := h.MarkRecovered(0); err != nil {
+			t.Errorf("MarkRecovered mid-repair: %v", err)
+		}
+	}
+	h.mu.Lock()
+	for i := 1; i < 4; i++ {
+		h.transports[i] = &hookTransport{inner: trs[i], armed: &armed, hook: hook}
+	}
+	h.mu.Unlock()
+
+	latest := func(p core.PageID) []byte { return pageOf(byte(p)) }
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, latest(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inprocs[0].SetFailed(true)
+	if err := h.MarkFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	armed = true
+	if _, err := h.RepairSlabs(); err != nil {
+		t.Fatalf("repair with mid-pass recovery: %v", err)
+	}
+	if armed {
+		t.Fatal("repair pass made no transport calls; recovery never fired")
+	}
+	if got := h.FailedAgents(); len(got) != 0 {
+		t.Fatalf("FailedAgents = %v after mid-pass recovery", got)
+	}
+	if n := h.UnderReplicated(); n != 0 {
+		t.Fatalf("%d slabs under-replicated after repair", n)
+	}
+	checkFresh(t, h, pages, latest)
+
+	// The recovered agent re-enters the rendezvous ranking: Rebalance moves
+	// its share back (copying only from current fresh holders — its own
+	// pre-failure copies are never trusted) and converges.
+	if _, err := h.Rebalance(); err != nil {
+		t.Fatalf("rebalance after recovery: %v", err)
+	}
+	if again, err := h.Rebalance(); err != nil || again != 0 {
+		t.Fatalf("rebalance did not converge: moved=%d err=%v", again, err)
+	}
+	checkFresh(t, h, pages, latest)
+}
+
+// TestPurgeWhileTicketsInFlight: purging an agent while the async engine
+// holds unflushed tickets that reference it (queued reads targeting it,
+// write fan-outs including it) must drain cleanly — reads fail over, writes
+// ack on the survivors — and a repair pass afterwards restores full
+// replication with no stale acked copy.
+func TestPurgeWhileTicketsInFlight(t *testing.T) {
+	const slabPages, pages, victim = 4, 16, 1
+	h, inprocs := buildCluster(t, 3, slabPages, 5)
+	old := func(p core.PageID) []byte { return pageOf(byte(p)) }
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, old(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// In-flight work: queued reads for the top half, superseding writes for
+	// the bottom half. Nothing is flushed yet.
+	readBufs := make([][]byte, pages)
+	var reads, writes []*Ticket
+	for p := core.PageID(pages / 2); p < pages; p++ {
+		readBufs[p] = make([]byte, PageSize)
+		reads = append(reads, h.ReadPageAsync(p, readBufs[p]))
+	}
+	newVal := func(p core.PageID) []byte { return pageOf(byte(p) + 100) }
+	for p := core.PageID(0); p < pages/2; p++ {
+		writes = append(writes, h.WritePageAsync(p, newVal(p)))
+	}
+
+	// The victim restarts empty: its transport dies and the control plane
+	// purges it — with all those tickets still queued.
+	inprocs[victim].SetFailed(true)
+	if dropped, err := h.PurgeAgent(victim); err != nil || dropped == 0 {
+		t.Fatalf("purge: dropped=%d err=%v", dropped, err)
+	}
+
+	if err := h.Flush(); err != nil {
+		t.Fatalf("flush across the purge: %v", err)
+	}
+	for i, tk := range reads {
+		if !tk.Done() {
+			t.Fatalf("read ticket %d never completed", i)
+		}
+		p := core.PageID(pages/2 + i)
+		if err := tk.Err(); err != nil {
+			t.Fatalf("in-flight read of page %d failed: %v", p, err)
+		}
+		if !bytes.Equal(readBufs[p], old(p)) {
+			t.Fatalf("in-flight read of page %d returned stale bytes", p)
+		}
+	}
+	for i, tk := range writes {
+		if !tk.Done() {
+			t.Fatalf("write ticket %d never completed", i)
+		}
+		if err := tk.Err(); err != nil {
+			t.Fatalf("in-flight write of page %d failed despite a live replica: %v", i, err)
+		}
+	}
+	// The dead victim must not have re-entered any ack set during the drain.
+	for p := core.PageID(0); p < pages; p++ {
+		for _, idx := range h.AckedReplicas(p) {
+			if idx == victim {
+				t.Fatalf("page %d re-acked on purged agent %d", p, victim)
+			}
+		}
+	}
+
+	// Repair re-replicates onto the survivors and re-pushes the writes that
+	// missed a replica; everything must come back fully replicated and fresh.
+	if err := h.MarkFailed(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RepairSlabs(); err != nil {
+		t.Fatalf("repair after purge: %v", err)
+	}
+	if n := h.UnderReplicated(); n != 0 {
+		t.Fatalf("%d slabs under-replicated after repair", n)
+	}
+	if n := h.DegradedPages(); n != 0 {
+		t.Fatalf("%d pages degraded after repair", n)
+	}
+	latest := func(p core.PageID) []byte {
+		if p < pages/2 {
+			return newVal(p)
+		}
+		return old(p)
+	}
+	checkFresh(t, h, pages, latest)
+}
+
+// TestRecoverPurgeEdgeOrdering: double MarkRecovered, double PurgeAgent and
+// recovering a never-failed agent are all harmless no-ops, in any order,
+// and the cluster converges afterwards.
+func TestRecoverPurgeEdgeOrdering(t *testing.T) {
+	const slabPages, pages = 8, 64
+	h, inprocs := buildCluster(t, 4, slabPages, 11)
+	latest := func(p core.PageID) []byte { return pageOf(byte(p)) }
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, latest(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inprocs[2].SetFailed(true)
+	if err := h.MarkFailed(2); err != nil {
+		t.Fatal(err)
+	}
+	if dropped, err := h.PurgeAgent(2); err != nil || dropped == 0 {
+		t.Fatalf("first purge: dropped=%d err=%v", dropped, err)
+	}
+	if dropped, err := h.PurgeAgent(2); err != nil || dropped != 0 {
+		t.Fatalf("double purge not a no-op: dropped=%d err=%v", dropped, err)
+	}
+
+	inprocs[2].SetFailed(false)
+	if err := h.MarkRecovered(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.MarkRecovered(2); err != nil {
+		t.Fatalf("double recover: %v", err)
+	}
+	if err := h.MarkRecovered(3); err != nil {
+		t.Fatalf("recovering a healthy agent: %v", err)
+	}
+	if got := h.FailedAgents(); len(got) != 0 {
+		t.Fatalf("FailedAgents = %v", got)
+	}
+
+	// Purge removed agent 2 from every placement; repair restores the
+	// replication factor and rebalance hands agent 2 its share back with
+	// fresh copies (its old memory is never referenced again).
+	if _, err := h.RepairSlabs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if again, err := h.Rebalance(); err != nil || again != 0 {
+		t.Fatalf("rebalance did not converge: moved=%d err=%v", again, err)
+	}
+	if n := h.UnderReplicated(); n != 0 {
+		t.Fatalf("%d slabs under-replicated", n)
+	}
+	checkFresh(t, h, pages, latest)
+}
