@@ -82,7 +82,8 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 
 // ScalerConfig tunes the autoscaler.
 type ScalerConfig struct {
-	// Min and Max bound the live agent pool. Max 0 disables scale-up,
+	// Min and Max bound the live agent pool. Max 0 (the zero value)
+	// disables scale-up entirely — set it explicitly to allow growth.
 	// Min 0 defaults to 1.
 	Min, Max int
 	// HighLat / LowLat are cluster-latency (mean of live agents' p99 EWMA)
@@ -138,6 +139,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Hooks connect the plane to its environment.
+//
+// Provision and Probe are invoked from inside Tick with the plane's internal
+// lock held (their answers feed the decision in progress): they may call into
+// the host or the harness, but must not call back into Plane methods
+// (AgentPhase, LiveAgents, Tick, ...) or they self-deadlock. ObserveCall and
+// ObserveRead remain safe from anywhere, including hooks. OnAction is
+// delivered after Tick releases the lock, so it may call anything.
 type Hooks struct {
 	// Provision returns a transport for a brand-new agent when the scaler
 	// wants one beyond the already-known pool (nil or returning false
@@ -146,7 +154,8 @@ type Hooks struct {
 	// Probe reports whether a failed agent answers again — the recovery
 	// signal. Nil means failed agents are never auto-recovered.
 	Probe func(agent int) bool
-	// OnAction, if set, observes every action as it is taken.
+	// OnAction, if set, observes every action a Tick took, in execution
+	// order, once the tick's decisions are complete.
 	OnAction func(Action)
 }
 
@@ -360,15 +369,11 @@ func (p *Plane) liveLocked() int {
 // the actions taken this tick, in execution order.
 func (p *Plane) Tick(now sim.Time) []Action {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.ticks++
 	var acts []Action
 	emit := func(a Action) {
 		a.At = now
 		acts = append(acts, a)
-		if p.hooks.OnAction != nil {
-			p.hooks.OnAction(a)
-		}
 	}
 
 	p.foldTickStats()
@@ -376,6 +381,15 @@ func (p *Plane) Tick(now sim.Time) []Action {
 	p.scale(emit)
 	if p.cfg.HotK > 0 && p.ticks%p.cfg.HotEvery == 0 {
 		p.refreshHot(emit)
+	}
+	p.mu.Unlock()
+
+	// OnAction runs outside the lock so the hook may call back into the
+	// plane (AgentPhase, LiveAgents, ...) without deadlocking.
+	if p.hooks.OnAction != nil {
+		for _, a := range acts {
+			p.hooks.OnAction(a)
+		}
 	}
 	return acts
 }
@@ -508,7 +522,7 @@ func (p *Plane) scale(emit func(Action)) {
 	}
 	avg := sum / float64(live)
 
-	if s.HighLat > 0 && avg >= float64(s.HighLat) && (s.Max == 0 || live < s.Max) {
+	if s.HighLat > 0 && avg >= float64(s.HighLat) && live < s.Max {
 		p.upStreak++
 		p.downStreak = 0
 		if p.upStreak >= s.UpTicks {
@@ -655,7 +669,12 @@ func (p *Plane) refreshHot(emit func(Action)) {
 	}
 	slices.Sort(drop)
 	for _, page := range drop {
-		p.host.DropHot(page)
+		if !p.host.DropHot(page) {
+			// The hot holders carry the only certified copy and the placement
+			// could not take it back yet (replicas down or a write in
+			// flight): keep the page hot and retry next refresh.
+			continue
+		}
 		delete(p.hotCur, page)
 		emit(Action{Kind: ActHotDrop, Agent: -1, Page: page})
 	}

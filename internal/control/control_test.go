@@ -408,6 +408,70 @@ func TestObserveDuringTick(t *testing.T) {
 	wg.Wait()
 }
 
+// TestOnActionReentrant: OnAction is delivered after Tick releases the
+// plane's lock, so the hook may call back into Plane accessors without
+// deadlocking.
+func TestOnActionReentrant(t *testing.T) {
+	c := newTestCluster(t, 3, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 13})
+	fill(t, c.host, 32)
+
+	var phases []Phase
+	var p *Plane
+	p = detectorPlane(c, Hooks{OnAction: func(a Action) {
+		// Both of these take p.mu; they deadlock if OnAction still runs
+		// under the tick's lock.
+		phases = append(phases, p.AgentPhase(a.Agent))
+		_ = p.LiveAgents()
+	}})
+
+	now := sim.Time(0)
+	for i := 0; i < 8; i++ {
+		feed(p, 0, 20, 2*sim.Millisecond, 0)
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	if len(phases) == 0 {
+		t.Fatal("no actions reached the hook")
+	}
+	if phases[0] != Suspect {
+		t.Fatalf("phase seen by hook after first action = %v, want suspect", phases[0])
+	}
+}
+
+// TestScalerMaxZeroDisablesScaleUp pins the documented zero-value semantics:
+// with Max left 0, sustained pressure must never grow the pool, even with a
+// Provision hook wired.
+func TestScalerMaxZeroDisablesScaleUp(t *testing.T) {
+	c := newTestCluster(t, 2, remote.HostConfig{SlabPages: 8, Replicas: 2, Seed: 9})
+	fill(t, c.host, 32)
+
+	provisioned := 0
+	p := New(Config{
+		Scaler: ScalerConfig{
+			HighLat: 50 * sim.Microsecond,
+			UpTicks: 2, Cooldown: 1,
+		},
+	}, c.host, Hooks{Provision: func() (remote.Transport, bool) {
+		provisioned++
+		return c.addAgent(), true
+	}})
+
+	now := sim.Time(0)
+	for i := 0; i < 20; i++ {
+		for a := 0; a < c.host.Agents(); a++ {
+			feed(p, a, 20, 200*sim.Microsecond, 0)
+		}
+		now = now.Add(sim.Millisecond)
+		p.Tick(now)
+	}
+	if provisioned != 0 {
+		t.Fatalf("provisioned %d agents with Max=0, want 0", provisioned)
+	}
+	if got := p.LiveAgents(); got != 2 {
+		t.Fatalf("live = %d with Max=0, want 2", got)
+	}
+}
+
 // TestActionString pins the rendering used by harness logs.
 func TestActionString(t *testing.T) {
 	a := Action{At: sim.Time(3 * sim.Millisecond), Kind: ActFail, Agent: 2}

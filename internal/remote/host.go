@@ -108,6 +108,16 @@ type Host struct {
 	// degraded tracks pages whose most recent write was acknowledged by
 	// fewer than Replicas agents; RepairSlabs re-pushes them.
 	degraded map[core.PageID]bool
+	// writeGen counts completed writes per page. Paths that copy a page with
+	// h.mu released (ReplicateHot, slab migration) snapshot it with their
+	// source read and re-check it before certifying the copy into the ack
+	// set: a bump in between means a write raced in and the copy is stale.
+	writeGen map[core.PageID]uint64
+	// syncWrites counts in-flight synchronous WritePage calls per page
+	// (their replica fan-out runs with h.mu released). DropHot consults it
+	// before copying a hot holder's bytes back onto the placement, so the
+	// copy-back can never clobber a concurrent write's fresher bytes.
+	syncWrites map[core.PageID]int
 	// retired agents are draining for graceful scale-down: excluded from
 	// rendezvous ranking (so Rebalance migrates their share away) while
 	// remaining fully live copy sources and read targets.
@@ -153,6 +163,8 @@ func NewHost(cfg HostConfig, transports []Transport) (*Host, error) {
 		placements:   make(map[SlabID][]int),
 		acked:        make(map[core.PageID][]int),
 		degraded:     make(map[core.PageID]bool),
+		writeGen:     make(map[core.PageID]uint64),
+		syncWrites:   make(map[core.PageID]int),
 		queues:       make([][]queueEntry, len(transports)),
 		readsPending: make(map[core.PageID]*pendingRead),
 		dirty:        make(map[core.PageID]*pendingWrite),
@@ -243,6 +255,7 @@ func (h *Host) WritePage(page core.PageID, data []byte) error {
 		transports[i] = h.transports[idx]
 	}
 	h.stats.Writes++
+	h.syncWrites[page]++
 	h.mu.Unlock()
 
 	ackedIdx := make([]int, 0, len(targets))
@@ -258,10 +271,17 @@ func (h *Host) WritePage(page core.PageID, data []byte) error {
 			ackedIdx = append(ackedIdx, targets[i])
 		}
 	}
+	h.mu.Lock()
+	if n := h.syncWrites[page]; n <= 1 {
+		delete(h.syncWrites, page)
+	} else {
+		h.syncWrites[page] = n - 1
+	}
+	h.writeGen[page]++
 	if len(ackedIdx) == 0 {
+		h.mu.Unlock()
 		return fmt.Errorf("remote: write page %d failed on all replicas: %w", page, lastErr)
 	}
-	h.mu.Lock()
 	h.acked[page] = ackedIdx
 	if len(ackedIdx) < h.cfg.Replicas {
 		h.degraded[page] = true

@@ -69,6 +69,12 @@ func (h *Host) writeTargets(page core.PageID, replicas []int) []int {
 	return targets
 }
 
+// maxHotStaleRetries bounds how many times one ReplicateHot call re-reads
+// its source after a concurrent write invalidated the bytes in hand — enough
+// to make progress under sporadic writes without livelocking against a page
+// under constant write pressure (the control plane retries next refresh).
+const maxHotStaleRetries = 3
+
 // ReplicateHot installs extra read replicas for page until it has up to
 // extra hot holders beyond its slab placement, choosing the best
 // rendezvous-ranked live agents not already holding a copy. The page bytes
@@ -76,6 +82,11 @@ func (h *Host) writeTargets(page core.PageID, replicas []int) []int {
 // acked source the call is a no-op (an uncertifiable copy could never be
 // read anyway). Unreachable targets are skipped best-effort. It reports how
 // many copies were installed.
+//
+// The source read and target writes run with h.mu released, so a client
+// write can land in between; the per-page write generation is snapshotted
+// with the source read and re-checked at install time, so a copy that a
+// concurrent write overtook is never certified into the ack set.
 func (h *Host) ReplicateHot(page core.PageID, extra int) (added int, err error) {
 	slab, off := h.locate(page)
 
@@ -91,18 +102,6 @@ func (h *Host) ReplicateHot(page core.PageID, extra int) (added int, err error) 
 		h.mu.Unlock()
 		return 0, nil
 	}
-	// Source: a live holder that acked the latest write.
-	srcIdx := -1
-	for _, idx := range h.acked[page] {
-		if !h.failed[idx] {
-			srcIdx = idx
-			break
-		}
-	}
-	if srcIdx < 0 {
-		h.mu.Unlock()
-		return 0, nil
-	}
 	exclude := make(map[int]bool, len(replicas)+len(have))
 	for _, idx := range replicas {
 		exclude[idx] = true
@@ -111,31 +110,42 @@ func (h *Host) ReplicateHot(page core.PageID, extra int) (added int, err error) 
 		exclude[idx] = true
 	}
 	ranked := h.rendezvousRank(slab, exclude)
-	src := h.transports[srcIdx]
 	h.mu.Unlock()
 
-	rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
-	if err != nil {
-		return 0, fmt.Errorf("remote: ReplicateHot(%d) read source: %w", page, err)
-	}
-	if rd.Status != StatusOK {
-		return 0, statusError(OpRead, rd.Status)
+	payload, gen, err := h.hotSourceRead(page, slab, off)
+	if err != nil || payload == nil {
+		return 0, err
 	}
 
-	for _, target := range ranked {
-		if added == need {
-			break
-		}
+	rereads := 0
+	for i := 0; i < len(ranked) && added < need; {
+		target := ranked[i]
 		h.mu.Lock()
 		tr := h.transports[target]
 		h.mu.Unlock()
 		if resp, err := tr.Call(&Request{Op: OpMapSlab, Slab: slab}); err != nil || resp.Status != StatusOK {
-			continue // unreachable; try the next ranked agent
+			i++ // unreachable; try the next ranked agent
+			continue
 		}
-		if resp, err := tr.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: rd.Payload}); err != nil || resp.Status != StatusOK {
+		if resp, err := tr.Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: payload}); err != nil || resp.Status != StatusOK {
+			i++
 			continue
 		}
 		h.mu.Lock()
+		if h.writeGen[page] != gen {
+			// A write completed after our source read: the bytes just pushed
+			// are stale and must not join the ack set. Nothing references
+			// them; re-read fresh bytes and retry this same target.
+			h.mu.Unlock()
+			if rereads++; rereads > maxHotStaleRetries {
+				return added, nil
+			}
+			payload, gen, err = h.hotSourceRead(page, slab, off)
+			if err != nil || payload == nil {
+				return added, err
+			}
+			continue
+		}
 		if h.hot == nil {
 			h.hot = make(map[core.PageID][]int)
 		}
@@ -146,35 +156,124 @@ func (h *Host) ReplicateHot(page core.PageID, extra int) (added int, err error) 
 		h.stats.HotCopies++
 		h.mu.Unlock()
 		added++
+		i++
 	}
 	return added, nil
+}
+
+// hotSourceRead snapshots page's write generation and reads its current
+// bytes from a live holder that acknowledged the latest write. A nil payload
+// with nil error means no live acked source exists (the caller gives up
+// without certifying anything). The transport read runs with h.mu released;
+// callers compare the returned generation against h.writeGen under the lock
+// before trusting the payload as fresh.
+func (h *Host) hotSourceRead(page core.PageID, slab SlabID, off uint32) (payload []byte, gen uint64, err error) {
+	h.mu.Lock()
+	gen = h.writeGen[page]
+	srcIdx := -1
+	for _, idx := range h.acked[page] {
+		if !h.failed[idx] {
+			srcIdx = idx
+			break
+		}
+	}
+	if srcIdx < 0 {
+		h.mu.Unlock()
+		return nil, gen, nil
+	}
+	src := h.transports[srcIdx]
+	h.mu.Unlock()
+
+	rd, err := src.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+	if err != nil {
+		return nil, gen, fmt.Errorf("remote: ReplicateHot(%d) read source: %w", page, err)
+	}
+	if rd.Status != StatusOK {
+		return nil, gen, statusError(OpRead, rd.Status)
+	}
+	return rd.Payload, gen, nil
 }
 
 // DropHot demotes page back to its plain slab placement: hot holders leave
 // the ack set (so no read path consults a copy that will no longer receive
 // writes) and the hot entry is removed. The bytes on the former holders are
 // simply abandoned — nothing references them.
-func (h *Host) DropHot(page core.PageID) {
+//
+// When every acked copy is a hot holder (the placement replicas all missed
+// the last write), demoting as-is would abandon the only certified copies
+// while readers silently fall back to stale placement bytes. Instead the
+// page is first copied from a hot holder back onto its live placement
+// replicas; if none can take it (or a write to the page is in flight),
+// DropHot refuses and reports false so the caller retries later.
+func (h *Host) DropHot(page core.PageID) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	holders := h.hot[page]
 	if len(holders) == 0 {
-		return
+		return true
 	}
-	delete(h.hot, page)
 	if acked, ok := h.acked[page]; ok {
 		rest := slices.DeleteFunc(slices.Clone(acked), func(r int) bool {
 			return slices.Contains(holders, r)
 		})
 		if len(rest) == 0 {
-			// Every acked copy was a hot holder (the placement replicas all
-			// missed the write): the write is no longer recoverable as-acked.
-			delete(h.acked, page)
-			delete(h.degraded, page)
+			// With a write in flight the copy-back below could overwrite the
+			// write's fresher bytes on a placement replica that then acks it
+			// — defer; the next attempt sees the write's own ack set.
+			if h.dirty[page] != nil || h.syncWrites[page] > 0 {
+				return false
+			}
+			rest = h.restoreAckedLocked(page, acked)
+			if len(rest) == 0 {
+				return false
+			}
+		}
+		h.acked[page] = rest
+		if len(rest) < h.cfg.Replicas {
+			// The last write is certified on fewer than Replicas placement
+			// copies once the holders leave: keep it flagged so RepairSlabs
+			// re-pushes it.
+			h.degraded[page] = true
 		} else {
-			h.acked[page] = rest
+			delete(h.degraded, page)
 		}
 	}
+	delete(h.hot, page)
+	return true
+}
+
+// restoreAckedLocked copies page's latest bytes from a live acked holder
+// onto the live placement replicas and returns the replicas that accepted —
+// the certified set that lets DropHot demote without losing the last acked
+// write. Callers hold h.mu; like flushLocked, the lock is held across the
+// transport calls, so no new write to the page can begin mid-copy.
+func (h *Host) restoreAckedLocked(page core.PageID, sources []int) []int {
+	slab, off := h.locate(page)
+	var payload []byte
+	for _, src := range sources {
+		if h.failed[src] {
+			continue
+		}
+		rd, err := h.transports[src].Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+		if err == nil && rd.Status == StatusOK {
+			payload = rd.Payload
+			break
+		}
+	}
+	if payload == nil {
+		return nil
+	}
+	var restored []int
+	for _, idx := range h.placements[slab] {
+		if h.failed[idx] {
+			continue
+		}
+		wr, err := h.transports[idx].Call(&Request{Op: OpWrite, Slab: slab, PageOff: off, Payload: payload})
+		if err == nil && wr.Status == StatusOK {
+			restored = append(restored, idx)
+		}
+	}
+	return restored
 }
 
 // HotPages reports the pages currently carrying hot extra replicas, sorted.

@@ -1,0 +1,385 @@
+package remote
+
+import (
+	"bytes"
+	"slices"
+	"sync"
+	"testing"
+
+	"leap/internal/core"
+)
+
+// opHookTransport wraps a Transport and runs hook once, on the first call
+// matching op after arming — the lever for injecting a concurrent client
+// write at an exact point inside a multi-call control-plane operation (e.g.
+// between ReplicateHot's source read and its target install).
+type opHookTransport struct {
+	inner Transport
+	op    uint8
+	mu    sync.Mutex
+	armed *bool // shared across wrappers so only the first matching call fires
+	hook  func()
+}
+
+func (o *opHookTransport) Call(req *Request) (*Response, error) {
+	o.mu.Lock()
+	fire := req.Op == o.op && *o.armed
+	if fire {
+		*o.armed = false
+	}
+	o.mu.Unlock()
+	if fire {
+		o.hook()
+	}
+	return o.inner.Call(req)
+}
+
+func (o *opHookTransport) Close() error { return o.inner.Close() }
+
+// TestReplicateHotRacingWrite: a client write that lands between
+// ReplicateHot's source read and its install must not leave the new hot
+// holder certified with the pre-write bytes. The write fires from a hook on
+// the first OpMapSlab call — after the source read, before the copy is
+// installed — which is exactly the TOCTOU window; the host must detect the
+// interleaved write and re-read, so the holder joins the ack set holding the
+// latest bytes.
+func TestReplicateHotRacingWrite(t *testing.T) {
+	const slabPages, pages = 8, 64
+	const page = core.PageID(3)
+	h, _ := buildCluster(t, 4, slabPages, 11)
+	v1, v2 := pageOf(1), pageOf(2)
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, pageOf(byte(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.WritePage(page, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	armed := false
+	hook := func() {
+		if err := h.WritePage(page, v2); err != nil {
+			t.Errorf("racing write: %v", err)
+		}
+	}
+	h.mu.Lock()
+	for i, tr := range h.transports {
+		h.transports[i] = &opHookTransport{inner: tr, op: OpMapSlab, armed: &armed, hook: hook}
+	}
+	h.mu.Unlock()
+
+	armed = true
+	added, err := h.ReplicateHot(page, 1)
+	if err != nil {
+		t.Fatalf("ReplicateHot: %v", err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	if armed {
+		t.Fatal("ReplicateHot never mapped a target; the race was not exercised")
+	}
+
+	holders := h.HotHolders(page)
+	if len(holders) != 1 {
+		t.Fatalf("HotHolders = %v, want one", holders)
+	}
+	acked := h.AckedReplicas(page)
+	if !slices.Contains(acked, holders[0]) {
+		t.Fatalf("hot holder %d not certified in ack set %v", holders[0], acked)
+	}
+	// Every acked copy — the hot holder included — must hold the racing
+	// write's bytes, or a read preferring acked holders returns stale data
+	// as fresh.
+	slab, off := h.locate(page)
+	h.mu.Lock()
+	trs := make([]Transport, len(acked))
+	for i, idx := range acked {
+		trs[i] = h.transports[idx]
+	}
+	h.mu.Unlock()
+	for i, tr := range trs {
+		resp, err := tr.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("acked agent %d unreadable: %v", acked[i], err)
+		}
+		if !bytes.Equal(resp.Payload, v2) {
+			t.Fatalf("acked agent %d holds stale bytes after racing write", acked[i])
+		}
+	}
+	buf := make([]byte, PageSize)
+	if err := h.ReadPage(page, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatal("host read returned stale bytes after racing write")
+	}
+}
+
+// TestDropHotRestoresCertification: when every acked copy of a page is a hot
+// holder (the placement replicas all missed the last write), DropHot must
+// copy the page back onto the placement before demoting — or refuse — so the
+// last acked write is never silently dropped from certification.
+func TestDropHotRestoresCertification(t *testing.T) {
+	const slabPages, pages = 8, 64
+	const page = core.PageID(5)
+	h, inprocs := buildCluster(t, 4, slabPages, 11)
+	v1, v2 := pageOf(1), pageOf(2)
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, pageOf(byte(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.WritePage(page, v1); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := h.ReplicateHot(page, 1); err != nil || added != 1 {
+		t.Fatalf("ReplicateHot: added=%d err=%v", added, err)
+	}
+	holder := h.HotHolders(page)[0]
+
+	// The placement replicas miss the next write: only the hot holder acks.
+	slab, off := h.locate(page)
+	h.mu.Lock()
+	replicas := slices.Clone(h.placements[slab])
+	h.mu.Unlock()
+	for _, idx := range replicas {
+		inprocs[idx].SetFailed(true)
+	}
+	if err := h.WritePage(page, v2); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	if acked := h.AckedReplicas(page); len(acked) != 1 || acked[0] != holder {
+		t.Fatalf("acked = %v, want only hot holder %d", acked, holder)
+	}
+
+	// With the placement replicas still unreachable there is nowhere to put
+	// the only certified copy: the demotion must be refused, and reads must
+	// keep serving the acked bytes.
+	if h.DropHot(page) {
+		t.Fatal("DropHot demoted the only certified copy with placement unreachable")
+	}
+	if got := h.HotPages(); len(got) != 1 || got[0] != page {
+		t.Fatalf("HotPages = %v after refused drop, want [%d]", got, page)
+	}
+	buf := make([]byte, PageSize)
+	if err := h.ReadPage(page, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatal("read after refused drop returned stale bytes")
+	}
+
+	// Placement heals: the drop now copies the bytes back, re-certifies the
+	// placement replicas, and demotes cleanly.
+	for _, idx := range replicas {
+		inprocs[idx].SetFailed(false)
+	}
+	if !h.DropHot(page) {
+		t.Fatal("DropHot refused with placement reachable")
+	}
+	if got := h.HotPages(); len(got) != 0 {
+		t.Fatalf("HotPages = %v after drop, want none", got)
+	}
+	acked := h.AckedReplicas(page)
+	slices.Sort(acked)
+	want := slices.Clone(replicas)
+	slices.Sort(want)
+	if !slices.Equal(acked, want) {
+		t.Fatalf("acked = %v after drop, want placement %v", acked, want)
+	}
+	if n := h.DegradedPages(); n != 0 {
+		t.Fatalf("DegradedPages = %d after restoring full certification", n)
+	}
+	for _, idx := range replicas {
+		h.mu.Lock()
+		tr := h.transports[idx]
+		h.mu.Unlock()
+		resp, err := tr.Call(&Request{Op: OpRead, Slab: slab, PageOff: off})
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("replica %d unreadable: %v", idx, err)
+		}
+		if !bytes.Equal(resp.Payload, v2) {
+			t.Fatalf("replica %d holds stale bytes after copy-back", idx)
+		}
+	}
+	if err := h.ReadPage(page, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatal("read after drop returned stale bytes")
+	}
+}
+
+// TestDropHotPartialRestoreStaysDegraded: if the copy-back reaches only some
+// placement replicas, the page must stay flagged degraded so RepairSlabs
+// finishes the job.
+func TestDropHotPartialRestoreStaysDegraded(t *testing.T) {
+	const slabPages, pages = 8, 64
+	const page = core.PageID(5)
+	h, inprocs := buildCluster(t, 4, slabPages, 11)
+	v2 := pageOf(2)
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, pageOf(byte(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if added, err := h.ReplicateHot(page, 1); err != nil || added != 1 {
+		t.Fatalf("ReplicateHot: added=%d err=%v", added, err)
+	}
+	slab, _ := h.locate(page)
+	h.mu.Lock()
+	replicas := slices.Clone(h.placements[slab])
+	h.mu.Unlock()
+	for _, idx := range replicas {
+		inprocs[idx].SetFailed(true)
+	}
+	if err := h.WritePage(page, v2); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	// Only one placement replica comes back: the drop restores what it can.
+	inprocs[replicas[0]].SetFailed(false)
+	if !h.DropHot(page) {
+		t.Fatal("DropHot refused with a reachable placement replica")
+	}
+	if acked := h.AckedReplicas(page); len(acked) != 1 || acked[0] != replicas[0] {
+		t.Fatalf("acked = %v, want [%d]", acked, replicas[0])
+	}
+	if n := h.DegradedPages(); n != 1 {
+		t.Fatalf("DegradedPages = %d after partial restore, want 1", n)
+	}
+	// Repair finishes the re-push once the other replica heals.
+	inprocs[replicas[1]].SetFailed(false)
+	if _, err := h.RepairSlabs(); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.DegradedPages(); n != 0 {
+		t.Fatalf("DegradedPages = %d after repair", n)
+	}
+	buf := make([]byte, PageSize)
+	if err := h.ReadPage(page, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatal("read after repair returned stale bytes")
+	}
+}
+
+// TestHedgeWinIsNotAFailover: a hedged read whose slow primary fails while
+// the twin completes is the hedge doing its job — it must count as a
+// HedgeWin, not a Failover, so the two stats stay distinguishable.
+func TestHedgeWinIsNotAFailover(t *testing.T) {
+	const slabPages, pages = 8, 64
+	inprocs := make([]*InProc, 3)
+	trs := make([]Transport, 3)
+	for i := range inprocs {
+		inprocs[i] = NewInProc(NewAgent(slabPages, 0))
+		trs[i] = inprocs[i]
+	}
+	h, err := NewHost(HostConfig{SlabPages: slabPages, Replicas: 2, Seed: 11,
+		Retry: RetryPolicy{HedgeReads: true}}, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := core.PageID(0); p < pages; p++ {
+		if err := h.WritePage(p, pageOf(byte(p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pick a page whose primary holder has the lower agent index, so the
+	// drain (agent-index order) issues the failing primary before the twin
+	// — the exact interleaving that used to double-count as a failover.
+	page := core.PageID(-1)
+	var order []int
+	for p := core.PageID(0); p < pages; p++ {
+		slab, _ := h.locate(p)
+		h.mu.Lock()
+		cand := h.readCandidates(p, h.placements[slab])
+		h.mu.Unlock()
+		if len(cand) >= 2 && cand[0] < cand[1] {
+			page, order = p, cand
+			break
+		}
+	}
+	if page < 0 {
+		t.Fatal("no page with ascending holder order")
+	}
+	primary, twin := order[0], order[1]
+
+	// Both acked holders are hinted slow (otherwise the read would simply
+	// order away from the slow one) and the primary is down.
+	for _, idx := range []int{primary, twin} {
+		if err := h.SetAgentSlow(idx, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inprocs[primary].SetFailed(true)
+
+	buf := make([]byte, PageSize)
+	if err := h.ReadPageAsync(page, buf).Wait(); err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if !bytes.Equal(buf, pageOf(byte(page))) {
+		t.Fatal("hedged read returned stale bytes")
+	}
+	st := h.Stats()
+	if st.HedgedReads != 1 || st.HedgeWins != 1 {
+		t.Fatalf("HedgedReads=%d HedgeWins=%d, want 1/1", st.HedgedReads, st.HedgeWins)
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("Failovers = %d for a loss inside the hedge pair, want 0", st.Failovers)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 (the twin was already queued)", st.Retries)
+	}
+}
+
+// TestHedgeNeverTargetsUnackedHolder: a degraded page (one replica missed
+// the last write) with its only acked holder hinted slow must not hedge onto
+// the stale replica — a winning hedge there would return stale bytes as
+// fresh.
+func TestHedgeNeverTargetsUnackedHolder(t *testing.T) {
+	const slabPages, pages = 8, 64
+	inprocs := make([]*InProc, 3)
+	trs := make([]Transport, 3)
+	for i := range inprocs {
+		inprocs[i] = NewInProc(NewAgent(slabPages, 0))
+		trs[i] = inprocs[i]
+	}
+	h, err := NewHost(HostConfig{SlabPages: slabPages, Replicas: 2, Seed: 11,
+		Retry: RetryPolicy{HedgeReads: true}}, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := pageOf(1), pageOf(2)
+	const page = core.PageID(3)
+	if err := h.WritePage(page, v1); err != nil {
+		t.Fatal(err)
+	}
+	slab, _ := h.locate(page)
+	h.mu.Lock()
+	replicas := slices.Clone(h.placements[slab])
+	h.mu.Unlock()
+
+	// replicas[1] misses the second write: it still holds v1.
+	inprocs[replicas[1]].SetFailed(true)
+	if err := h.WritePage(page, v2); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	inprocs[replicas[1]].SetFailed(false)
+	if err := h.SetAgentSlow(replicas[0], true); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, PageSize)
+	if err := h.ReadPageAsync(page, buf).Wait(); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, v2) {
+		t.Fatal("read of a degraded page returned stale bytes")
+	}
+	if st := h.Stats(); st.HedgedReads != 0 {
+		t.Fatalf("HedgedReads = %d onto an unacked holder, want 0", st.HedgedReads)
+	}
+}

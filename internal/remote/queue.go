@@ -74,13 +74,15 @@ type pendingRead struct {
 	// Retry/hedge state (see RetryPolicy). attempts counts transport
 	// attempts consumed; deadline (0 = none) is the absolute virtual-time
 	// budget; inflight counts queue entries currently referencing this read
-	// (2 while a hedge races); primary is the first agent targeted, for
-	// hedge-win attribution; done marks completion — entries still queued
-	// for a completed read are discarded unissued at drain time.
+	// (2 while a hedge races); primary/twin are the hedge pair (twin is
+	// meaningful only when hedged), for hedge-win and failover attribution;
+	// done marks completion — entries still queued for a completed read are
+	// discarded unissued at drain time.
 	attempts int
 	deadline sim.Time
 	inflight int
 	primary  int
+	twin     int
 	hedged   bool
 	done     bool
 }
@@ -166,11 +168,17 @@ func (h *Host) ReadPageAsync(page core.PageID, buf []byte) *Ticket {
 	if pol.HedgeReads && h.slow[target] {
 		// The best candidate is hinted slow: duplicate the read onto the
 		// next holder so the slow agent costs one extra frame, not a stall.
-		// First completion wins; the loser is discarded unissued.
-		if second := h.readOrder(page, replicas, []int{target}); second >= 0 && !h.slow[second] {
+		// Only a holder that acknowledged the latest write may serve as the
+		// twin — an unacked replica can hold stale bytes, and a winning
+		// hedge must be as fresh as the read it replaces. (The target being
+		// slow means every acked holder is slow, so the twin is too; racing
+		// two slow agents still beats stalling on one.) First completion
+		// wins; the loser is discarded unissued.
+		if second := h.readOrder(page, replicas, []int{target}); second >= 0 && slices.Contains(h.acked[page], second) {
 			h.queues[second] = append(h.queues[second], queueEntry{read: pr})
 			pr.inflight++
 			pr.hedged = true
+			pr.twin = second
 			h.stats.HedgedReads++
 		}
 	}
@@ -411,11 +419,17 @@ func (h *Host) completeRead(pr *pendingRead, idx int, data []byte) {
 	for _, buf := range pr.bufs {
 		copy(buf, data)
 	}
-	if len(pr.tried) > 0 {
-		h.stats.Failovers++
-	}
 	if pr.hedged && idx != pr.primary {
 		h.stats.HedgeWins++
+	}
+	// Failed attempts inside the hedge pair are the hedge doing its job, not
+	// failovers; Failovers counts only reads that walked past the pair, so
+	// the hedge and failover stats stay distinguishable.
+	for _, a := range pr.tried {
+		if !pr.hedged || (a != pr.primary && a != pr.twin) {
+			h.stats.Failovers++
+			break
+		}
 	}
 	pr.done = true
 	delete(h.readsPending, pr.page)
@@ -437,7 +451,9 @@ func (h *Host) retryRead(pr *pendingRead, idx int, err error, status uint8) {
 	}
 	if pr.inflight > 0 {
 		// A hedge twin is still queued on another agent: let it race before
-		// deciding this read's fate.
+		// deciding this read's fate. The failed attempt is already charged to
+		// pr.attempts/pr.tried, so the deadline and MaxAttempts budgets are
+		// enforced the moment the twin resolves without completing the read.
 		return
 	}
 	fail := func(cause error) {
@@ -551,6 +567,7 @@ func (h *Host) issueWrites(idx int, batch []queueEntry) error {
 // the write's error, if the write failed on every replica.
 func (h *Host) finishWrite(pw *pendingWrite) error {
 	delete(h.dirty, pw.page)
+	h.writeGen[pw.page]++
 	var err error
 	if len(pw.acked) == 0 {
 		err = opError(OpWrite, pw.lastIdx, pw.page, len(pw.replicas),

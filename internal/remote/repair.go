@@ -220,6 +220,7 @@ func (h *Host) copySlabTo(slab SlabID, sources []int, target int) error {
 				break
 			}
 		}
+		gen := h.writeGen[page]
 		src := h.transports[srcIdx]
 		h.mu.Unlock()
 
@@ -239,7 +240,11 @@ func (h *Host) copySlabTo(slab SlabID, sources []int, target int) error {
 		}
 		if srcAcked {
 			h.mu.Lock()
-			if acked, ok := h.acked[page]; ok && !slices.Contains(acked, target) {
+			// Certify the copy only if no write completed since the source
+			// read (the copy would be stale); the target still holds usable
+			// bytes, it just stays out of the ack set like any replica that
+			// missed a write.
+			if acked, ok := h.acked[page]; ok && h.writeGen[page] == gen && !slices.Contains(acked, target) {
 				h.acked[page] = append(acked, target)
 			}
 			h.mu.Unlock()
