@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check smoke runtime-smoke concurrency-smoke elastic-smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check smoke runtime-smoke concurrency-smoke elastic-smoke selfheal-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -63,6 +63,15 @@ elastic-smoke:
 	$(GO) run ./cmd/leapbench -scale small -fig elastic | grep -v 'done in' > /tmp/leap_elastic_b.txt
 	diff /tmp/leap_elastic_a.txt /tmp/leap_elastic_b.txt
 	$(GO) test -race ./internal/control
+
+# Selfheal smoke: the supervised-runtime figure (control plane wired into
+# the live leap.Memory, faults injected mid-run) must be byte-identical
+# across two runs, and the runtime+plane integration must be race-clean.
+selfheal-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig selfheal | grep -v 'done in' > /tmp/leap_selfheal_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig selfheal | grep -v 'done in' > /tmp/leap_selfheal_b.txt
+	diff /tmp/leap_selfheal_a.txt /tmp/leap_selfheal_b.txt
+	$(GO) test -race -run 'TestMemoryPlaneSelfHeals|TestMemoryConcurrentSlowReplica|TestMemoryTransientOutageRecovers' .
 
 # Regenerate every figure and table at full scale.
 figures:

@@ -345,6 +345,30 @@ func (p *Plane) AgentPhase(idx int) Phase {
 	return p.agents[idx].phase
 }
 
+// Phases reports every agent's detector phase, indexed by agent.
+func (p *Plane) Phases() []Phase {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Phase, len(p.agents))
+	for i, st := range p.agents {
+		out[i] = st.phase
+	}
+	return out
+}
+
+// HotPages reports the pages currently carrying control-plane hot replicas,
+// sorted.
+func (p *Plane) HotPages() []core.PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]core.PageID, 0, len(p.hotCur))
+	for page := range p.hotCur {
+		out = append(out, page)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // LiveAgents reports how many agents are currently serving (healthy or
 // suspect — failed and drained agents are out of rotation).
 func (p *Plane) LiveAgents() int {

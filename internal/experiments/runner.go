@@ -60,6 +60,8 @@ var figureRegistry = []figureRunner{
 		func(s Scale, seed uint64) string { return fmt.Sprint(Elastic(s, seed)) }},
 	{"runtime", "end-to-end leap.Memory: prefetchers over a live in-proc remote cluster",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Runtime(s, seed)) }},
+	{"selfheal", "leap.Memory under mid-run agent faults: unsupervised vs WithControlPlane",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Selfheal(s, seed)) }},
 	{"concurrency", "multi-client leap.Memory: modeled throughput over goroutines × clients",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Concurrency(s, seed)) }},
 	{"ablations", "design-choice sweeps: majority vote, windows, eviction, isolation",

@@ -72,6 +72,7 @@ resilience  chaos harness: scripted faults, failover latency, repair traffic
 scaling     async ticket engine throughput over agents × queue-depth grid
 elastic     self-healing control plane: diurnal ramp, static vs detector+autoscaler
 runtime     end-to-end leap.Memory: prefetchers over a live in-proc remote cluster
+selfheal    leap.Memory under mid-run agent faults: unsupervised vs WithControlPlane
 concurrency multi-client leap.Memory: modeled throughput over goroutines × clients
 ablations   design-choice sweeps: majority vote, windows, eviction, isolation
 `

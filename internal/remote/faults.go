@@ -95,6 +95,16 @@ func (t *FaultTransport) SetObserver(f func(CallObservation)) {
 	t.observer = f
 }
 
+// Observer reports the currently installed per-call observer (nil when
+// none). A harness that must keep an existing observer alive — the runtime
+// chaining a control-plane feed onto a chaos harness's accounting hook —
+// reads it before SetObserver and calls it from the replacement.
+func (t *FaultTransport) Observer() func(CallObservation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.observer
+}
+
 // Stats reports (total calls, calls failed by injection).
 func (t *FaultTransport) Stats() (calls, injected int64) {
 	t.mu.Lock()

@@ -97,6 +97,18 @@ func (h *Host) Agents() int {
 	return len(h.transports)
 }
 
+// Transports reports the agent transports in index order (a copy of the
+// slice; the transports themselves are shared). Control planes use it to
+// probe failed agents and to chain per-call observers onto fault-injecting
+// transports.
+func (h *Host) Transports() []Transport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Transport, len(h.transports))
+	copy(out, h.transports)
+	return out
+}
+
 // Retire marks agent idx as draining for graceful scale-down: it leaves
 // the rendezvous ranking — new placements skip it and the next Rebalance
 // migrates its slab share away — but unlike MarkFailed it stays a fully

@@ -381,7 +381,9 @@ func (h *Host) issueReads(idx int, batch []queueEntry) error {
 	}
 	req, encErr := EncodeReadBatch(refs)
 	if encErr != nil {
-		return encErr
+		// Wrap as a read OpError: Flush's return value is attributed by op
+		// kind (a read failure must never be mistaken for lost acked data).
+		return opError(OpRead, idx, batch[0].read.page, 0, encErr)
 	}
 	h.stats.BatchCalls++
 	h.stats.BatchedPages += int64(len(batch))
@@ -531,7 +533,7 @@ func (h *Host) issueWrites(idx int, batch []queueEntry) error {
 	}
 	req, encErr := EncodeWriteBatch(refs, pages)
 	if encErr != nil {
-		return encErr
+		return opError(OpWrite, idx, batch[0].write.page, 0, encErr)
 	}
 	h.stats.BatchCalls++
 	h.stats.BatchedPages += int64(len(batch))

@@ -5,9 +5,12 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"leap/internal/control"
 	"leap/internal/core"
 	"leap/internal/datapath"
 	"leap/internal/metrics"
@@ -92,6 +95,21 @@ type Memory struct {
 	// accepted); every subsequent operation reports it.
 	err error
 
+	// plane is the attached control plane (nil without WithControlPlane).
+	// planeEvery is the virtual-time tick cadence and planeNext the next due
+	// tick (planeNext is guarded by m.mu; the tick itself runs with m.mu
+	// released — lock order is m.mu → plane.mu → host.mu, and the tick path
+	// enters at plane.mu so plane actions may mutate the host freely).
+	plane      *control.Plane
+	planeEvery sim.Duration
+	planeNext  sim.Time
+	// planeTicks / planeActs count ticks run and successful actions by kind.
+	// Atomics, not m.mu: Stats must not order m.mu against the plane's locks.
+	planeTicks atomic.Int64
+	planeActs  [8]atomic.Int64
+	// slabPages sizes agents the plane provisions on the private cluster.
+	slabPages int
+
 	// lastLatency/lastSerial snapshot the most recent fault's total and
 	// CPU-serial latency for the closed-loop concurrency model (LastFault);
 	// meaningful only when one goroutine drives the Memory.
@@ -138,6 +156,10 @@ type memOptions struct {
 	seed       uint64
 	agents     int
 	slabPages  int
+	planeCfg   *control.Config
+	planeEvery sim.Duration
+	retry      remote.RetryPolicy
+	retrySet   bool
 }
 
 // Option configures Open.
@@ -207,14 +229,18 @@ func Open(opts ...Option) (*Memory, error) {
 	if o.conc <= 0 {
 		o.conc = DefaultConcurrency
 	}
+	if o.retrySet && o.host != nil {
+		return nil, fmt.Errorf("leap: WithRetryPolicy configures the private in-process cluster; set RemoteHostConfig.Retry (and SetTimeSource) on the host passed to WithRemoteHost instead")
+	}
 	m := &Memory{
-		clock:    o.clock,
-		qdepth:   o.queueDepth,
-		conc:     o.conc,
-		frames:   pagemap.New[*frame](o.capacity),
-		written:  pagemap.New[struct{}](0),
-		faulting: pagemap.New[struct{}](0),
-		demand:   pagemap.New[*demandFetch](0),
+		clock:     o.clock,
+		qdepth:    o.queueDepth,
+		conc:      o.conc,
+		slabPages: o.slabPages,
+		frames:    pagemap.New[*frame](o.capacity),
+		written:   pagemap.New[struct{}](0),
+		faulting:  pagemap.New[struct{}](0),
+		demand:    pagemap.New[*demandFetch](0),
 	}
 	if m.clock == nil {
 		m.clock = &sim.Clock{}
@@ -223,19 +249,34 @@ func Open(opts ...Option) (*Memory, error) {
 	if m.host == nil {
 		transports := make([]remote.Transport, o.agents)
 		for i := range transports {
-			transports[i] = remote.NewInProc(remote.NewAgent(o.slabPages, 0))
+			tr := remote.Transport(remote.NewInProc(remote.NewAgent(o.slabPages, 0)))
+			if o.planeCfg != nil {
+				// With a plane attached the private cluster's transports get
+				// fault-injection wrappers: pass-through while healthy (bit-
+				// identical to the bare transport), observable by the plane,
+				// and reachable via Host.Transports for chaos tests.
+				tr = remote.NewFaultTransport(i, tr, nil)
+			}
+			transports[i] = tr
 		}
 		h, err := remote.NewHost(remote.HostConfig{
 			SlabPages:  o.slabPages,
 			Replicas:   2,
 			QueueDepth: o.queueDepth,
 			Seed:       o.seed,
+			Retry:      o.retry,
 		}, transports)
 		if err != nil {
 			return nil, err
 		}
 		m.host = h
 		m.ownHost = true
+		if o.retrySet {
+			// Ticket deadlines measure virtual time off the runtime clock.
+			// The clock is only read on the fault path (under m.mu), where
+			// the async engine runs, so the raw accessor is race-free.
+			h.SetTimeSource(m.clock.Now)
+		}
 	}
 	pf := o.pf
 	if pf == nil {
@@ -262,6 +303,9 @@ func Open(opts ...Option) (*Memory, error) {
 	m.cFaults = m.eng.Counters.Handle("faults")
 	m.cResidentHits = m.eng.Counters.Handle("resident_hits")
 	m.cDemandWaits = m.eng.Counters.Handle("demand_waits")
+	if o.planeCfg != nil {
+		m.attachPlane(*o.planeCfg, o.planeEvery)
+	}
 	return m, nil
 }
 
@@ -359,9 +403,7 @@ func (m *Memory) evictResident(page core.PageID) {
 		m.host.WritePageAsync(page, f.data)
 		f.dirty = false
 		if m.host.PendingWrites() >= m.qdepth {
-			if err := m.host.Flush(); err != nil && m.err == nil {
-				m.err = fmt.Errorf("leap: writeback failed: %w", err)
-			}
+			m.latchWriteback(m.host.Flush())
 		}
 	}
 	if !m.eng.Cache().Contains(page) {
@@ -370,12 +412,33 @@ func (m *Memory) evictResident(page core.PageID) {
 	}
 }
 
+// latchWriteback records err as the Memory's permanent store failure —
+// unless it is a read-op failure surfaced through Flush. Flush drains read
+// and write tickets alike, and a failed prefetch read is handled per-ticket
+// (the prefetch is abandoned, a later demand access refetches): only a
+// writeback no replica accepted means acked application data is gone.
+func (m *Memory) latchWriteback(err error) {
+	if err == nil || m.err != nil || isReadOpError(err) {
+		return
+	}
+	m.err = fmt.Errorf("leap: writeback failed: %w", err)
+}
+
+// isReadOpError reports whether err is a ticket-engine read failure.
+func isReadOpError(err error) bool {
+	var oe *remote.OpError
+	return errors.As(err, &oe) && oe.Op == remote.OpRead
+}
+
 // fetchPrefetches is the engine's prefetch-issue hook: the window's pages
 // get frames and their real bytes are fetched from the host through the
 // async ticket engine — one doorbell flush for the whole window. Pages with
 // no remote image materialize as zeros without touching the wire. A page
-// whose fetch fails on every replica is abandoned (the in-flight entry is
-// cancelled); a later demand access retries synchronously.
+// whose batched fetch fails is abandoned (the in-flight entry is
+// cancelled): no synchronous retry happens here, because a wire round trip
+// with m.mu held would head-of-line-block every client behind one slow
+// replica. A later demand access refetches the page under the overlap
+// budget, where a slow replica delays only its own faulter.
 func (m *Memory) fetchPrefetches(pages []core.PageID) {
 	m.tickets = m.tickets[:0]
 	m.ticketPages = m.ticketPages[:0]
@@ -392,25 +455,16 @@ func (m *Memory) fetchPrefetches(pages []core.PageID) {
 	if len(m.tickets) == 0 {
 		return
 	}
-	// Read outcomes are per-ticket (checked below); a Flush error is a
-	// queued eviction writeback that failed on every replica — acked
-	// application data is gone, so latch it like every other writeback
-	// path does.
-	if err := m.host.Flush(); err != nil && m.err == nil {
-		m.err = fmt.Errorf("leap: writeback failed: %w", err)
-	}
+	// Read outcomes are per-ticket (checked below). Flush also drains queued
+	// eviction writebacks; only a write-op failure — acked application data
+	// no replica accepted — may poison the Memory.
+	m.latchWriteback(m.host.Flush())
 	for i, t := range m.tickets {
 		if t.Err() == nil {
 			continue
 		}
 		page := m.ticketPages[i]
-		// The batched fetch failed (e.g. every replica of its slab is
-		// unreachable mid-fault-injection): retry once synchronously, and
-		// abandon the prefetch if the page is truly unreachable.
 		if f, ok := m.frames.Get(page); ok {
-			if m.host.ReadPage(page, f.data) == nil {
-				continue
-			}
 			m.frames.Delete(page)
 			m.freeFrame(f)
 		}
@@ -509,9 +563,22 @@ func (m *Memory) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
 		// remote image — memory never written reads as zero).
 		f := m.newFrame()
 		if m.written.Contains(pg) {
+			if m.plane != nil {
+				// Remotely served faults are the plane's hot-page frequency
+				// feed: natural hotspots drive ReplicateHot.
+				m.plane.ObserveRead(pg)
+			}
 			if err := m.fetchDemand(pg, f); err != nil {
+				// Unwind the half-taken fault. The engine has already
+				// recorded the miss and charged the device model, so the
+				// clock must still advance by the fault's latency — device
+				// queue occupancy and the latency histogram stay truthful —
+				// but OnAccess/MapIn are skipped: there are no bytes to map,
+				// and the page stays non-resident so a retry after the
+				// outage heals faults through cleanly.
 				m.freeFrame(f)
 				m.faulting.Delete(pg)
+				m.clock.Advance(latency)
 				return nil, fmt.Errorf("leap: page %d unreachable: %w", pg, err)
 			}
 		} else {
@@ -540,7 +607,11 @@ func (m *Memory) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
 func (m *Memory) Get(pg core.PageID) ([]byte, error) {
 	m.mu.Lock()
 	f, err := m.page(0, pg)
+	now, due := m.planeDueLocked()
 	m.mu.Unlock()
+	if due {
+		m.tickPlane(now)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -555,7 +626,11 @@ func (m *Memory) getInto(pid prefetch.PID, pg core.PageID, dst []byte) error {
 	if err == nil {
 		copy(dst, f.data)
 	}
+	now, due := m.planeDueLocked()
 	m.mu.Unlock()
+	if due {
+		m.tickPlane(now)
+	}
 	return err
 }
 
@@ -580,7 +655,11 @@ func (m *Memory) readAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 			return n, err
 		}
 		c := copy(p[n:], f.data[off%remote.PageSize:])
+		now, due := m.planeDueLocked()
 		m.mu.Unlock()
+		if due {
+			m.tickPlane(now)
+		}
 		n += c
 		off += int64(c)
 	}
@@ -609,7 +688,11 @@ func (m *Memory) writeAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 		}
 		c := copy(f.data[off%remote.PageSize:], p[n:])
 		f.dirty = true
+		now, due := m.planeDueLocked()
 		m.mu.Unlock()
+		if due {
+			m.tickPlane(now)
+		}
 		n += c
 		off += int64(c)
 	}
@@ -622,14 +705,19 @@ func (m *Memory) writeAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 // memory, not a write-through cache — and reach the host on eviction.
 func (m *Memory) Flush() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.flushLocked()
+	err := m.flushLocked()
+	now, due := m.planeDueLocked()
+	m.mu.Unlock()
+	if due {
+		m.tickPlane(now)
+	}
+	return err
 }
 
 // flushLocked is Flush with m.mu held.
 func (m *Memory) flushLocked() error {
 	m.eng.FlushWriteback(0, m.clock.Now())
-	if err := m.host.Flush(); err != nil && m.err == nil {
+	if err := m.host.Flush(); err != nil && m.err == nil && !isReadOpError(err) {
 		m.err = fmt.Errorf("leap: flush failed: %w", err)
 	}
 	return m.err
@@ -676,6 +764,9 @@ type Stats struct {
 	// Host is the remote substrate's accounting (wire frames, failovers,
 	// repairs).
 	Host remote.HostStats
+	// Control is the attached control plane's view of the cluster and the
+	// actions it has taken (zero-valued without WithControlPlane).
+	Control ControlStats
 }
 
 // Stats reports the runtime's cumulative accounting. Safe to call
@@ -701,6 +792,9 @@ func (m *Memory) Stats() Stats {
 	}
 	cacheStats0 := m.cacheStats0
 	m.mu.Unlock()
+	// The plane's accessors take its own lock; reading them after m.mu is
+	// released keeps the lock order acyclic (and the counters are atomics).
+	s.Control = m.controlStats()
 	if s.Accesses > 0 {
 		s.HitRatio = 1 - float64(s.Misses)/float64(s.Accesses)
 	}

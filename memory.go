@@ -1,6 +1,8 @@
 package leap
 
 import (
+	"leap/internal/control"
+	"leap/internal/remote"
 	"leap/internal/runtime"
 	"leap/internal/sim"
 )
@@ -41,6 +43,10 @@ type Option = runtime.Option
 // share one with a Memory via WithClock to interleave test events with
 // fault latencies deterministically.
 type Clock = sim.Clock
+
+// Duration is a span of virtual time (nanoseconds), the unit every latency
+// and cadence knob in this package is expressed in.
+type Duration = sim.Duration
 
 // Open builds a Memory runtime. With no options it is the full Leap stack
 // of the paper over a private in-process remote-memory cluster: lean data
@@ -87,3 +93,59 @@ func WithClock(c *sim.Clock) Option { return runtime.WithClock(c) }
 // WithSeed seeds the latency models (fabric jitter, data-path stage draws).
 // Equal seeds and equal access sequences replay bit-identically.
 func WithSeed(seed uint64) Option { return runtime.WithSeed(seed) }
+
+// ControlConfig tunes the runtime's self-healing control plane (attach it
+// with WithControlPlane): the per-agent failure detector, the autoscaler,
+// and top-K hot-page replication. The zero value uses conservative
+// defaults with the autoscaler off.
+type ControlConfig = control.Config
+
+// ControlDetectorConfig is the failure-detector portion of ControlConfig:
+// EWMA latency/error thresholds for the healthy → suspect → failed walk,
+// probation length, and the flap penalty.
+type ControlDetectorConfig = control.DetectorConfig
+
+// ControlScalerConfig is the autoscaler portion of ControlConfig: the
+// fleet-size bounds, the latency bands that trigger growth and shrink, and
+// the streak/cooldown lengths that debounce them. Zero Max disables
+// scaling.
+type ControlScalerConfig = control.ScalerConfig
+
+// ControlPhase is one agent's detector state: healthy, suspect, failed or
+// drained.
+type ControlPhase = control.Phase
+
+// ControlAction records one step the control plane took against the
+// cluster — a detector transition, a scaling event, or a hot-replica
+// change — with the host error if the step failed.
+type ControlAction = control.Action
+
+// MemoryControlStats is the Stats.Control block: the plane's view of the
+// cluster and per-kind counts of the actions it has taken.
+type MemoryControlStats = runtime.ControlStats
+
+// RemoteRetryPolicy bounds retries, deadlines, backoff and hedging for the
+// async ticket engine's page operations. The zero value reproduces the
+// legacy unlimited-failover behavior bit-for-bit.
+type RemoteRetryPolicy = remote.RetryPolicy
+
+// WithControlPlane attaches a self-healing control plane to the Memory: a
+// failure detector that routes around slow agents and excludes crashed
+// ones (re-replicating their slabs), probation that brings healed agents
+// back, an optional autoscaler that grows the private cluster under
+// sustained latency pressure, and hot-page replicas driven by the fault
+// stream. The plane ticks off the runtime clock; see WithControlInterval
+// and Memory.TickControl. Without this option behavior is bit-identical
+// to an unsupervised runtime.
+func WithControlPlane(cfg ControlConfig) Option { return runtime.WithControlPlane(cfg) }
+
+// WithControlInterval sets the control plane's tick cadence in virtual
+// time (default runtime.DefaultControlInterval). Non-positive keeps the
+// default.
+func WithControlInterval(d Duration) Option { return runtime.WithControlInterval(d) }
+
+// WithRetryPolicy bounds retries, deadlines, backoff and hedging in the
+// private in-process cluster, with per-ticket deadlines read from the
+// runtime clock. Incompatible with WithRemoteHost — a supplied host
+// carries its own policy via RemoteHostConfig.Retry.
+func WithRetryPolicy(p RemoteRetryPolicy) Option { return runtime.WithRetryPolicy(p) }
