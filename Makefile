@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check smoke runtime-smoke concurrency-smoke elastic-smoke selfheal-smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check bench-check-recorded smoke runtime-smoke concurrency-smoke shard-smoke elastic-smoke selfheal-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -24,9 +24,18 @@ test:
 bench:
 	scripts/bench.sh
 
-# Regression gate: rerun the headline hot-path benchmarks and fail on
-# >15% ns/op growth or any allocs/op increase vs the recorded baseline.
+# Regression gate: A/B the gated hot-path benchmarks — baseline ref
+# (BENCH_AB_BASE, default HEAD~1) in a throwaway worktree vs the working
+# tree, both on THIS machine — and fail on >15% ns/op growth, any
+# allocs/op increase, or any allocation on the Memory hit paths
+# (scripts/bench_ab.sh).
 bench-check:
+	scripts/bench_ab.sh
+
+# The old recorded-baseline gate: rerun the headline benchmarks and diff
+# against BENCH_1.json. Only meaningful on the machine that recorded the
+# baseline; bench-check (A/B at HEAD) is the portable gate.
+bench-check-recorded:
 	$(GO) test -run '^$$' -benchmem -count 1 -benchtime 2s \
 	  -bench 'BenchmarkSimulatorThroughput$$|BenchmarkPredictorFaultPath$$' . \
 	  | python3 scripts/bench2json.py > /tmp/leap_bench_fresh.json
@@ -46,14 +55,26 @@ runtime-smoke:
 	$(GO) test -race . ./internal/paging/...
 
 # Concurrency smoke: the multi-client figure must be byte-identical across
-# two runs (its goroutine scaling is modeled from one deterministic pass),
+# two runs (its goroutine scaling is modeled from one deterministic pass;
+# the wall-clock "  measured" block is stripped, as is its timing line),
 # and the concurrent runtime must survive the race-enabled stress, property
 # and chaos suites plus the 1-goroutine parity gate.
 concurrency-smoke:
-	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -v 'done in' > /tmp/leap_conc_a.txt
-	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -v 'done in' > /tmp/leap_conc_b.txt
+	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -vE 'done in|^  measured' > /tmp/leap_conc_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -vE 'done in|^  measured' > /tmp/leap_conc_b.txt
 	diff /tmp/leap_conc_a.txt /tmp/leap_conc_b.txt
 	$(GO) test -race -run 'TestMemoryConcurrent|TestMemoryReadYourWrites|TestConcurrencyOne' .
+
+# Shard smoke: the sharded fault path end to end — the concurrency figure
+# (now carrying the sharded measured block) must stay byte-identical
+# outside the measured lines, and the shard suites (1-shard parity oracle,
+# cross-shard invariant property, sharded stress/chaos/self-heal, the
+# 0-alloc hit path) must pass under the race detector.
+shard-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -vE 'done in|^  measured' > /tmp/leap_shard_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig concurrency | grep -vE 'done in|^  measured' > /tmp/leap_shard_b.txt
+	diff /tmp/leap_shard_a.txt /tmp/leap_shard_b.txt
+	$(GO) test -race -run 'TestSharded|TestMemorySharded|TestMemoryPlaneSelfHealsSharded' .
 
 # Elastic smoke: the self-healing control-plane figure must be
 # byte-identical across two runs (every detector/scaler decision replays

@@ -10,6 +10,9 @@
 package leap
 
 import (
+	"fmt"
+	goruntime "runtime"
+	"sync/atomic"
 	"testing"
 
 	"leap/internal/core"
@@ -339,6 +342,52 @@ func BenchmarkMemoryConcurrentGet(b *testing.B) {
 			i++
 		}
 	})
+}
+
+func BenchmarkMemoryGetHitParallel(b *testing.B) {
+	// The sharded hit path under real parallelism: a GOMAXPROCS sweep over
+	// {1, 2, 4, 8} with the runtime split WithShards(8), so each worker's
+	// Get takes only its stripe's lock. This is the measured multicore
+	// scaling curve of the fault path — recorded in BENCH_8.json and gated
+	// A/B by scripts/bench_ab.sh — and every sweep point must stay
+	// allocation-free, exactly like the serialized hit path above. Procs
+	// beyond the machine's cores degenerate to the core count; the sweep
+	// still records them so the curve's flat tail is visible in the data.
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+			mem, err := Open(WithSeed(42), WithShards(8), WithCacheCapacity(512), WithQueueDepth(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mem.Close()
+			buf := make([]byte, RemotePageSize)
+			const hot = 128 // 16 pages per stripe: every Get below is a hit
+			for pg := int64(0); pg < hot; pg++ {
+				if _, err := mem.WriteAt(buf, pg*RemotePageSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := mem.Client(0)
+				// Stagger workers across stripes (17 is odd, so offsets
+				// cover every shard) instead of marching them in lockstep
+				// over the same pages.
+				i := int(worker.Add(1)) * 17
+				for pb.Next() {
+					data, err := c.Get(PageID(i & (hot - 1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = data
+					i++
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"strings"
+	"time"
 
 	"leap/internal/core"
 	"leap/internal/load"
@@ -49,6 +51,28 @@ type ConcurrencyResult struct {
 	IsolationClients int
 	// OpsPerRun is the total operation count of each (depth, clients) run.
 	OpsPerRun int64
+	// Measured is the real-goroutine block: load.DriveTimed wall-clock
+	// throughput of the sharded runtime at each goroutine count on this
+	// machine. Unlike Rows it is NOT deterministic (wall time, scheduler,
+	// GOMAXPROCS); String renders it under the "  measured" prefix so
+	// byte-identity gates can strip it (StripMeasured).
+	Measured []MeasuredRow
+	// MeasuredProcs/MeasuredShards/MeasuredClients/MeasuredOps describe the
+	// measured block's shape: the GOMAXPROCS it observed (never mutated),
+	// the WithShards stripe count, the client count, and the ops per run.
+	MeasuredProcs, MeasuredShards, MeasuredClients int
+	MeasuredOps                                    int64
+}
+
+// MeasuredRow is one goroutine count of the measured real-goroutine sweep.
+type MeasuredRow struct {
+	// Goroutines is the load.Drive worker count.
+	Goroutines int
+	// Ops is the operations the run executed; Wall is its wall-clock
+	// duration; KopsPerSec is Ops/Wall in thousands per (real) second.
+	Ops        int64
+	Wall       time.Duration
+	KopsPerSec float64
 }
 
 // The sweep grid.
@@ -95,6 +119,50 @@ func concurrencyRun(depth, clients int, ops int64, seed uint64, shared bool) (lo
 	return ms, mem.Stats().HitRatio
 }
 
+// measuredGoroutines is the goroutine sweep of the measured block and
+// measuredShards its WithShards stripe count (one stripe per expected
+// core, so hit-path locks split 8 ways).
+var measuredGoroutines = []int{1, 2, 4, 8}
+
+const (
+	measuredShards  = 8
+	measuredClients = 8
+)
+
+// measuredRun executes one real-goroutine run: g workers drive
+// measuredClients clients over a fresh sharded Memory through
+// load.DriveTimed, and the row reports wall-clock throughput. The numbers
+// are machine-dependent by nature; determinism gates strip them.
+func measuredRun(g int, ops int64, seed uint64) MeasuredRow {
+	mem, err := runtime.Open(
+		runtime.WithSeed(seed),
+		runtime.WithShards(measuredShards),
+		runtime.WithCacheCapacity(concurrencyCache),
+		runtime.WithQueueDepth(8),
+		runtime.WithConcurrency(8),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer mem.Close()
+	cfg := load.Config{
+		Clients:        measuredClients,
+		Goroutines:     g,
+		OpsPerClient:   int(ops) / measuredClients,
+		PagesPerClient: 64,
+		Seed:           seed ^ 0xD81E,
+	}
+	res, wall, err := load.DriveTimed(mem, cfg)
+	if err != nil {
+		panic(err)
+	}
+	row := MeasuredRow{Goroutines: g, Ops: res.Ops, Wall: wall}
+	if wall > 0 {
+		row.KopsPerSec = float64(res.Ops) / wall.Seconds() / 1e3
+	}
+	return row
+}
+
 // Concurrency runs the goroutines × clients sweep at each queue depth.
 func Concurrency(s Scale, seed uint64) ConcurrencyResult {
 	ops := s.Measured / 4
@@ -129,6 +197,16 @@ func Concurrency(s Scale, seed uint64) ConcurrencyResult {
 	}
 	out.IsolationClients = widest
 	_, out.SharedHitRatio = concurrencyRun(deepest, widest, ops, seed, true)
+	// The measured block: the same closed loop driven by real goroutines
+	// over the sharded runtime, timed on the wall clock. GOMAXPROCS is
+	// observed, never mutated — figures may run in parallel with other work.
+	out.MeasuredProcs = goruntime.GOMAXPROCS(0)
+	out.MeasuredShards = measuredShards
+	out.MeasuredClients = measuredClients
+	out.MeasuredOps = ops
+	for _, g := range measuredGoroutines {
+		out.Measured = append(out.Measured, measuredRun(g, ops, seed))
+	}
 	return out
 }
 
@@ -175,5 +253,33 @@ func (r ConcurrencyResult) String() string {
 	fmt.Fprintf(&b, "  §4.1 isolation at %d clients: per-client predictors %.1f%% hit vs shared predictor %.1f%% hit\n",
 		r.IsolationClients, 100*r.IsolatedHitRatio, 100*r.SharedHitRatio)
 	fmt.Fprintf(&b, "  (each cell is one live run over the in-proc cluster; goroutine rows spread its waitable wire time, the lock-serialized share is the ceiling)\n")
+	// The measured block renders last, every line under the "  measured"
+	// prefix: wall-clock numbers are machine- and run-dependent, and
+	// byte-identity gates (tests, CI two-run diffs) strip exactly these
+	// lines via StripMeasured / `grep -v '^  measured'`.
+	if len(r.Measured) > 0 {
+		fmt.Fprintf(&b, "  measured real-goroutine load.Drive (wall clock, nondeterministic): GOMAXPROCS=%d shards=%d clients=%d %d ops/run\n",
+			r.MeasuredProcs, r.MeasuredShards, r.MeasuredClients, r.MeasuredOps)
+		for _, row := range r.Measured {
+			fmt.Fprintf(&b, "  measured   g=%d %10.1f Kops/s (wall %v, %d ops)\n",
+				row.Goroutines, row.KopsPerSec, row.Wall.Round(time.Microsecond), row.Ops)
+		}
+	}
 	return b.String()
+}
+
+// StripMeasured removes the nondeterministic measured block from a rendered
+// concurrency figure: every line carrying the "  measured" prefix. The
+// remainder is the deterministic model — byte-identical across runs for
+// equal seeds — which is what determinism gates must compare.
+func StripMeasured(out string) string {
+	lines := strings.Split(out, "\n")
+	kept := lines[:0]
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "  measured") {
+			continue
+		}
+		kept = append(kept, ln)
+	}
+	return strings.Join(kept, "\n")
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"leap/internal/core"
 	"leap/internal/remote"
@@ -271,6 +272,19 @@ func Drive(mem *runtime.Memory, cfg Config) (Result, error) {
 	close(errs)
 	res := Result{Ops: int64(cfg.Clients) * int64(cfg.OpsPerClient), Streams: streams}
 	return res, <-errs
+}
+
+// DriveTimed runs Drive and reports the wall-clock duration of the run —
+// the real-goroutine throughput measurement mode behind the concurrency
+// figure's measured block. Unlike everything else in this package the
+// duration is wall time, not virtual time: it depends on the machine, the
+// scheduler and GOMAXPROCS, and is NOT deterministic across runs. Keep it
+// out of anything gated on byte-identical output (the figure renders it
+// under a strippable "  measured" prefix).
+func DriveTimed(mem *runtime.Memory, cfg Config) (Result, time.Duration, error) {
+	start := time.Now()
+	res, err := Drive(mem, cfg)
+	return res, time.Since(start), err
 }
 
 // Sequential runs cfg on the calling goroutine: the same per-client

@@ -137,6 +137,16 @@ type Engine[O any] struct {
 	// MapIn, before its writeback is priced — the hook a byte-moving
 	// runtime uses to write real dirty page images back.
 	OnEvict func(O, core.PageID)
+	// Owns, when set, restricts prefetch issue to pages the filter accepts.
+	// The sharded runtime runs one engine per PageID stripe: the Leap
+	// predictor's trend candidates stay in-stripe by construction (trend
+	// deltas between in-stripe faults are multiples of the stripe count),
+	// but its cold-start neighbor fallback — and baseline prefetchers like
+	// readahead — emit adjacent pages that belong to other stripes, and
+	// fetching those here would violate the one-owner-per-page invariant.
+	// Nil (every single-engine owner) keeps all candidates: byte-identical
+	// to the unfiltered engine.
+	Owns func(core.PageID) bool
 
 	// LastFaultSerial is the CPU-serial share of the most recent Fault's
 	// latency: the part spent traversing the data path and cache under the
@@ -323,6 +333,9 @@ func (e *Engine[O]) issuePrefetches(o O, res *Resident, cpu int, cands []core.Pa
 		if e.blocked.Len() > 0 && e.blocked.Contains(c) {
 			continue
 		}
+		if e.Owns != nil && !e.Owns(c) {
+			continue
+		}
 		dist := int64(c - e.lastDevPage)
 		e.lastDevPage = c
 		done := e.dev.Read(cpu, now, c, dist)
@@ -352,6 +365,9 @@ func (e *Engine[O]) issuePrefetchBatches(o O, res *Resident, cpu int, cands []co
 			continue
 		}
 		if e.blocked.Len() > 0 && e.blocked.Contains(c) {
+			continue
+		}
+		if e.Owns != nil && !e.Owns(c) {
 			continue
 		}
 		e.batchPages = append(e.batchPages, c)

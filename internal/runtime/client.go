@@ -63,14 +63,29 @@ func (c *Client) Get(pg core.PageID) ([]byte, error) {
 
 // PredictorStats reports this client's predictor statistics, when the
 // Memory runs the Leap prefetcher (ok is false otherwise, or before the
-// client's first fault created its predictor).
+// client's first fault created a predictor). With WithShards beyond 1 each
+// stripe owns a separate predictor for this client; the counts are summed
+// across stripes (core.Stats fields are additive tallies).
 func (c *Client) PredictorStats() (st core.Stats, ok bool) {
-	lp, isLeap := c.m.eng.Prefetcher().(*prefetch.Leap)
-	if !isLeap {
-		return core.Stats{}, false
+	for _, s := range c.m.shards {
+		lp, isLeap := s.eng.Prefetcher().(*prefetch.Leap)
+		if !isLeap {
+			return core.Stats{}, false
+		}
+		s.mu.Lock()
+		ps, found := lp.ProcessStats()[c.pid]
+		s.mu.Unlock()
+		if !found {
+			continue
+		}
+		ok = true
+		st.Faults += ps.Faults
+		st.TrendHits += ps.TrendHits
+		st.Speculative += ps.Speculative
+		st.Suspended += ps.Suspended
+		st.PagesPredicted += ps.PagesPredicted
+		st.WindowGrowths += ps.WindowGrowths
+		st.WindowShrinks += ps.WindowShrinks
 	}
-	c.m.mu.Lock()
-	defer c.m.mu.Unlock()
-	st, ok = lp.ProcessStats()[c.pid]
 	return st, ok
 }

@@ -146,25 +146,30 @@ func (m *Memory) noteAction(a control.Action) {
 	m.planeActs[a.Kind].Add(1)
 }
 
-// planeDueLocked reports whether the control tick cadence has elapsed,
-// advancing the next-tick deadline when it has. Callers hold m.mu; the tick
-// itself must run after the lock is released (see tickPlane).
-func (m *Memory) planeDueLocked() (sim.Time, bool) {
+// planeDue reports whether the control tick cadence has elapsed, advancing
+// the next-tick deadline when it has. Lock-free: the deadline is an atomic
+// and a CAS elects exactly one goroutine per due tick — a raced shard
+// simply sees the advanced deadline and skips. The tick itself must run
+// with no shard lock held (see tickPlane).
+func (m *Memory) planeDue() (sim.Time, bool) {
 	if m.plane == nil {
 		return 0, false
 	}
 	now := m.clock.Now()
-	if now < m.planeNext {
+	next := m.planeNext.Load()
+	if int64(now) < next {
 		return 0, false
 	}
-	m.planeNext = now.Add(m.planeEvery)
+	if !m.planeNext.CompareAndSwap(next, int64(now.Add(m.planeEvery))) {
+		return 0, false
+	}
 	return now, true
 }
 
 // tickPlane runs one control tick at virtual time now. Callers must NOT
-// hold m.mu: the tick's actions mutate the host (repair, drain, scale,
-// hot-replica refresh), and the lock order is m.mu → plane.mu → host.mu —
-// the tick path enters at plane.mu.
+// hold any shard lock: the tick's actions mutate the host (repair, drain,
+// scale, hot-replica refresh), and the lock order is shard.mu → plane.mu →
+// host.mu — the tick path enters at plane.mu.
 func (m *Memory) tickPlane(now sim.Time) []control.Action {
 	acts := m.plane.Tick(now)
 	m.planeTicks.Add(1)
@@ -180,10 +185,8 @@ func (m *Memory) TickControl() []control.Action {
 	if m.plane == nil {
 		return nil
 	}
-	m.mu.Lock()
 	now := m.clock.Now()
-	m.planeNext = now.Add(m.planeEvery)
-	m.mu.Unlock()
+	m.planeNext.Store(int64(now.Add(m.planeEvery)))
 	return m.tickPlane(now)
 }
 
@@ -193,7 +196,7 @@ func (m *Memory) TickControl() []control.Action {
 func (m *Memory) Plane() *control.Plane { return m.plane }
 
 // controlStats assembles the Stats.Control block. Callers must not hold
-// m.mu (the plane takes its own locks).
+// any shard lock (the plane takes its own locks).
 func (m *Memory) controlStats() ControlStats {
 	if m.plane == nil {
 		return ControlStats{}

@@ -7,7 +7,6 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"leap/internal/control"
@@ -40,25 +39,33 @@ import (
 // are real.
 //
 // Memory is safe for concurrent use: ReadAt, WriteAt, Get, Flush and Stats
-// may be called from arbitrary goroutines. One mutex serializes the fault
-// path (predictor, cache, residency, clock); a full miss drops the lock for
-// the remote fetch when WithConcurrency allows, registering a single-flight
-// entry so concurrent faults on the same page wait for one fetch while
-// faults on other pages proceed in parallel. The paper's multi-process
-// deployment (§4.1) maps onto Client handles: each logical client id gets
-// its own predictor over its own fault stream, while all clients share the
-// page cache, the residency budget and the remote host. Two caveats: the
-// slice returned by Memory.Get aliases the live frame table and is safe
-// only for single-goroutine use (Client.Get copies instead), and a clock
-// shared via WithClock must not be touched while operations are in flight.
+// may be called from arbitrary goroutines. The fault path is sharded by
+// PageID stripe (WithShards): each stripe owns its engine, predictor state,
+// page cache, residency budget and frame table behind its own mutex, so a
+// page-cache hit takes exactly one shard lock and hits on different stripes
+// scale across cores. Cross-shard concerns — the virtual clock, the error
+// latch, the demand-fetch overlap budget and the control-plane tick cadence
+// — are atomics on the Memory coordinator; the documented lock order is
+// shard.mu → plane.mu → host.mu, with at most one shard lock held at a
+// time. Within a shard, a full miss drops the lock for the remote fetch
+// when WithConcurrency allows, registering a single-flight entry so
+// concurrent faults on the same page wait for one fetch while faults on
+// other pages proceed in parallel. The default WithShards(1) runs one
+// stripe — bit-identical to the pre-sharding serialized runtime.
+//
+// The paper's multi-process deployment (§4.1) maps onto Client handles:
+// each logical client id gets its own predictor over its own fault stream
+// (per stripe), while all clients share the page caches, the residency
+// budget and the remote host. Two caveats: the slice returned by Memory.Get
+// aliases the live frame table and is safe only for single-goroutine use
+// (Client.Get copies instead), and a clock shared via WithClock must not be
+// touched while operations are in flight.
 type Memory struct {
-	// mu serializes the fault path: engine, residency, frame table, clock.
-	// It is dropped across single-flight demand fetches (see fetchDemand)
-	// and never held across a Client-visible return.
-	mu sync.Mutex
+	// shards are the PageID stripes of the fault path; page pg belongs to
+	// shards[uint64(pg)&mask]. len(shards) is a power of two.
+	shards []*shard
+	mask   uint64
 
-	eng  *paging.Engine[*Memory]
-	res  *paging.Resident
 	host *remote.Host
 	// ownHost marks a self-built in-process host (closed by Close; a host
 	// supplied via WithRemoteHost is the caller's to close).
@@ -66,45 +73,30 @@ type Memory struct {
 	clock   *sim.Clock
 	qdepth  int
 	// conc is the WithConcurrency bound: the number of demand-miss fetches
-	// allowed to overlap outside the lock. conc <= 1 keeps every fetch
-	// under the lock — the strictly serialized PR-4 execution order.
+	// allowed to overlap outside the shard locks, globally across shards.
+	// conc <= 1 keeps every fetch under its shard's lock — the strictly
+	// serialized PR-4 execution order.
 	conc     int
-	fetching int // demand fetches currently running unlocked
+	fetching atomic.Int64 // demand fetches currently running unlocked
 
-	// frames holds the real bytes of every local page: resident pages plus
-	// prefetched pages parked in the cache and in flight.
-	frames    *pagemap.Map[*frame]
-	frameFree *frame
-	// written tracks pages with a remote image (including writes still
-	// queued in the host's dirty buffer): only those are fetched from the
-	// host; everything else reads as zeros without touching the wire.
-	written *pagemap.Map[struct{}]
-	// faulting is the set of pages currently traversing the fault path: the
-	// eager cache policy frees their cache entries mid-fault (the page
-	// table takes ownership), and the eviction callback must not drop their
-	// frames. More than one entry only under concurrent faults.
-	faulting *pagemap.Map[struct{}]
-	// demand is the single-flight table: a page being demand-fetched with
-	// the lock dropped maps to the entry concurrent faulters wait on.
-	demand *pagemap.Map[*demandFetch]
-
-	tickets     []*remote.Ticket
-	ticketPages []core.PageID
-
-	// err is the first unrecoverable store failure (a writeback no replica
-	// accepted); every subsequent operation reports it.
-	err error
+	// err latches the first unrecoverable store failure (a writeback no
+	// replica accepted); every subsequent operation reports it. An atomic
+	// CAS keeps the latch first-wins across shards without a coordinator
+	// lock.
+	err atomic.Pointer[error]
 
 	// plane is the attached control plane (nil without WithControlPlane).
 	// planeEvery is the virtual-time tick cadence and planeNext the next due
-	// tick (planeNext is guarded by m.mu; the tick itself runs with m.mu
-	// released — lock order is m.mu → plane.mu → host.mu, and the tick path
-	// enters at plane.mu so plane actions may mutate the host freely).
+	// tick (atomic: the cadence check runs lock-free on every operation, and
+	// a CAS elects exactly one goroutine to run each due tick — lock order
+	// is shard.mu → plane.mu → host.mu, and the tick path runs with no
+	// shard lock held, entering at plane.mu, so plane actions may mutate the
+	// host freely).
 	plane      *control.Plane
 	planeEvery sim.Duration
-	planeNext  sim.Time
+	planeNext  atomic.Int64
 	// planeTicks / planeActs count ticks run and successful actions by kind.
-	// Atomics, not m.mu: Stats must not order m.mu against the plane's locks.
+	// Atomics: Stats must not order shard locks against the plane's locks.
 	planeTicks atomic.Int64
 	planeActs  [8]atomic.Int64
 	// slabPages sizes agents the plane provisions on the private cluster.
@@ -113,28 +105,19 @@ type Memory struct {
 	// lastLatency/lastSerial snapshot the most recent fault's total and
 	// CPU-serial latency for the closed-loop concurrency model (LastFault);
 	// meaningful only when one goroutine drives the Memory.
-	lastLatency sim.Duration
-	lastSerial  sim.Duration
-
-	// cacheStats0 snapshots cache counters at measurement start, so
-	// accuracy/coverage cover only the recorded phase (mirrors the
-	// simulator's warmup handling).
-	cacheStats0 pagecache.Stats
-
-	cAccesses     *int64
-	cFaults       *int64
-	cResidentHits *int64
-	cDemandWaits  *int64
+	lastLatency atomic.Int64
+	lastSerial  atomic.Int64
 }
 
-// demandFetch is one single-flight demand read in progress with the lock
-// dropped; done closes once the page is mapped in (or the fetch failed).
+// demandFetch is one single-flight demand read in progress with the shard
+// lock dropped; done closes once the page is mapped in (or the fetch
+// failed).
 type demandFetch struct {
 	done chan struct{}
 }
 
-// frame is one 4KB local page frame. Frames are pooled; data stays at
-// PageSize.
+// frame is one 4KB local page frame. Frames are pooled per shard; data
+// stays at PageSize.
 type frame struct {
 	data  []byte
 	dirty bool
@@ -142,7 +125,7 @@ type frame struct {
 }
 
 // DefaultConcurrency is the default WithConcurrency bound: how many
-// demand-miss fetches may overlap outside the fault-path lock.
+// demand-miss fetches may overlap outside the fault-path locks.
 const DefaultConcurrency = 8
 
 // memOptions collects Open's functional options.
@@ -152,6 +135,7 @@ type memOptions struct {
 	capacity   int
 	queueDepth int
 	conc       int
+	shards     int
 	clock      *sim.Clock
 	seed       uint64
 	agents     int
@@ -167,7 +151,10 @@ type Option func(*memOptions)
 
 // WithPrefetcher selects the prefetching policy consulted on every fault
 // (default: the Leap majority-trend predictor). Build baselines with
-// NewPrefetcher("readahead"), NewPrefetcher("none"), etc.
+// NewPrefetcher("readahead"), NewPrefetcher("none"), etc. A supplied
+// prefetcher is a single instance and cannot be split across stripes:
+// incompatible with WithShards beyond 1 (each stripe builds its own Leap
+// predictor there).
 func WithPrefetcher(p prefetch.Prefetcher) Option { return func(o *memOptions) { o.pf = p } }
 
 // WithRemoteHost runs the Memory over an existing host — typically one
@@ -178,7 +165,10 @@ func WithRemoteHost(h *remote.Host) Option { return func(o *memOptions) { o.host
 
 // WithCacheCapacity sets the local memory budget in pages — the cgroup
 // limit resident frames plus the prefetch cache are charged against
-// (default 1024 pages = 4MB).
+// (default 1024 pages = 4MB). With WithShards the budget is striped
+// statically: each shard gets capacity/shards pages (the remainder goes to
+// the low shards), so the global budget is exact while every shard admits
+// and evicts under only its own lock.
 func WithCacheCapacity(pages int) Option { return func(o *memOptions) { o.capacity = pages } }
 
 // WithQueueDepth bounds the async ticket engine's doorbell batches: up to
@@ -188,12 +178,27 @@ func WithCacheCapacity(pages int) Option { return func(o *memOptions) { o.capaci
 func WithQueueDepth(depth int) Option { return func(o *memOptions) { o.queueDepth = depth } }
 
 // WithConcurrency bounds how many demand-miss fetches may run outside the
-// fault-path lock at once (default DefaultConcurrency). Size it to the
-// number of goroutines expected to drive the Memory. 1 pins every fetch
-// under the lock — the fault path becomes strictly serialized, executing
-// exactly like the pre-concurrency runtime; a single-goroutine caller makes
-// identical decisions at every setting.
+// fault-path locks at once, globally across shards (default
+// DefaultConcurrency). Size it to the number of goroutines expected to
+// drive the Memory. 1 pins every fetch under its shard's lock — the fault
+// path becomes strictly serialized per stripe, executing exactly like the
+// pre-concurrency runtime; a single-goroutine caller makes identical
+// decisions at every setting.
 func WithConcurrency(n int) Option { return func(o *memOptions) { o.conc = n } }
+
+// WithShards splits the fault path into n PageID stripes, each with its own
+// lock, engine, predictor, page cache and residency budget, so operations
+// on different stripes proceed in parallel and page-cache hits take exactly
+// one shard lock (default 1; values are rounded up to the next power of
+// two). Page pg lands on stripe pg mod n — round-robin striping, so a hot
+// contiguous range spreads across all stripes. Each stripe's Leap predictor
+// sees only its own fault stream; a sequential sweep's in-stripe deltas are
+// uniform, so trend detection survives striping, and cross-stripe prefetch
+// candidates are filtered out rather than issued blind. WithShards(1) is
+// bit-identical to the pre-sharding serialized runtime. Incompatible with
+// WithPrefetcher beyond 1 shard, and WithCacheCapacity must provide at
+// least one page per shard.
+func WithShards(n int) Option { return func(o *memOptions) { o.shards = n } }
 
 // WithClock shares a virtual clock with the runtime (for virtual-time
 // tests: fault latencies are charged to it, so a test can interleave its
@@ -203,6 +208,21 @@ func WithClock(c *sim.Clock) Option { return func(o *memOptions) { o.clock = c }
 // WithSeed seeds the latency models (fabric jitter, data-path stage draws).
 // Equal seeds and equal access sequences replay bit-identically.
 func WithSeed(seed uint64) Option { return func(o *memOptions) { o.seed = seed } }
+
+// shardSeed derives the latency-model seed for stripe idx. Stripe 0 keeps
+// the user seed exactly — WithShards(1) must replay the unsharded runtime
+// bit-for-bit — and higher stripes decorrelate through a splitmix64 step.
+func shardSeed(seed uint64, idx int) uint64 {
+	if idx == 0 {
+		return seed
+	}
+	z := seed + uint64(idx)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ z>>31
+}
 
 // Open builds a Memory runtime. With no options it is the full Leap stack
 // of the paper over a private in-process remote-memory cluster: lean data
@@ -229,6 +249,16 @@ func Open(opts ...Option) (*Memory, error) {
 	if o.conc <= 0 {
 		o.conc = DefaultConcurrency
 	}
+	nshards := 1
+	for nshards < o.shards {
+		nshards <<= 1
+	}
+	if o.pf != nil && nshards > 1 {
+		return nil, fmt.Errorf("leap: WithPrefetcher supplies a single prefetcher instance and cannot be split across %d shards; use WithShards(1) or let each stripe build its own Leap predictor", nshards)
+	}
+	if o.capacity < nshards {
+		return nil, fmt.Errorf("leap: cache capacity %d pages < %d shards, need at least one page per shard", o.capacity, nshards)
+	}
 	if o.retrySet && o.host != nil {
 		return nil, fmt.Errorf("leap: WithRetryPolicy configures the private in-process cluster; set RemoteHostConfig.Retry (and SetTimeSource) on the host passed to WithRemoteHost instead")
 	}
@@ -237,10 +267,7 @@ func Open(opts ...Option) (*Memory, error) {
 		qdepth:    o.queueDepth,
 		conc:      o.conc,
 		slabPages: o.slabPages,
-		frames:    pagemap.New[*frame](o.capacity),
-		written:   pagemap.New[struct{}](0),
-		faulting:  pagemap.New[struct{}](0),
-		demand:    pagemap.New[*demandFetch](0),
+		mask:      uint64(nshards - 1),
 	}
 	if m.clock == nil {
 		m.clock = &sim.Clock{}
@@ -272,11 +299,37 @@ func Open(opts ...Option) (*Memory, error) {
 		m.host = h
 		m.ownHost = true
 		if o.retrySet {
-			// Ticket deadlines measure virtual time off the runtime clock.
-			// The clock is only read on the fault path (under m.mu), where
-			// the async engine runs, so the raw accessor is race-free.
+			// Ticket deadlines measure virtual time off the runtime clock,
+			// which is atomic — race-free from any stripe.
 			h.SetTimeSource(m.clock.Now)
 		}
+	}
+	m.shards = make([]*shard, nshards)
+	for i := range m.shards {
+		m.shards[i] = m.newShard(i, nshards, &o)
+	}
+	if o.planeCfg != nil {
+		m.attachPlane(*o.planeCfg, o.planeEvery)
+	}
+	return m, nil
+}
+
+// newShard builds stripe idx of nshards: its own engine (latency models
+// seeded per stripe, stripe 0 keeping the user seed), predictor, cache,
+// residency budget and frame pool. The global capacity is striped
+// statically — capacity/nshards pages each, remainder to the low stripes.
+func (m *Memory) newShard(idx, nshards int, o *memOptions) *shard {
+	capacity := o.capacity / nshards
+	if idx < o.capacity%nshards {
+		capacity++
+	}
+	s := &shard{
+		m:        m,
+		idx:      idx,
+		frames:   pagemap.New[*frame](capacity),
+		written:  pagemap.New[struct{}](0),
+		faulting: pagemap.New[struct{}](0),
+		demand:   pagemap.New[*demandFetch](0),
 	}
 	pf := o.pf
 	if pf == nil {
@@ -286,35 +339,39 @@ func Open(opts ...Option) (*Memory, error) {
 	// (unless overridden) majority-trend prefetching — the same
 	// configuration Simulate's SystemDVMMLeap preset builds, so a Memory
 	// run and a simulator run over one trace make identical decisions.
-	m.eng = paging.New[*Memory](paging.Config{
+	s.eng = paging.New[*shard](paging.Config{
 		Path:        datapath.Config{Kind: datapath.Lean},
 		CachePolicy: pagecache.EvictEager,
 		Prefetcher:  pf,
 		QueueDepth:  o.queueDepth,
-		Seed:        o.seed,
+		Seed:        shardSeed(o.seed, idx),
 	})
-	m.res = paging.NewResident(o.capacity)
-	m.res.Limit = int64(o.capacity)
-	m.eng.OnInsert = func(mm *Memory) { mm.res.Charged++ }
-	m.eng.OnIssue = (*Memory).fetchPrefetches
-	m.eng.OnEvict = (*Memory).evictResident
-	m.eng.Cache().OnEvict = m.cacheEvicted
-	m.cAccesses = m.eng.Counters.Handle("accesses")
-	m.cFaults = m.eng.Counters.Handle("faults")
-	m.cResidentHits = m.eng.Counters.Handle("resident_hits")
-	m.cDemandWaits = m.eng.Counters.Handle("demand_waits")
-	if o.planeCfg != nil {
-		m.attachPlane(*o.planeCfg, o.planeEvery)
+	if nshards > 1 {
+		// Prefetch candidates outside this stripe belong to a sibling's
+		// engine: filter them instead of issuing blind (a foreign-page frame
+		// here would break the single-owner invariant). The predictor's
+		// in-stripe trends produce in-stripe candidates, so for Leap this
+		// only trims the cold-start neighbor fallback; baseline readahead
+		// loses the cross-stripe tail by design. Nil at one shard: the
+		// unfiltered, bit-identical engine.
+		own := uint64(idx)
+		s.eng.Owns = func(pg core.PageID) bool { return uint64(pg)&m.mask == own }
 	}
-	return m, nil
+	s.res = paging.NewResident(capacity)
+	s.res.Limit = int64(capacity)
+	s.eng.OnInsert = func(ss *shard) { ss.res.Charged++ }
+	s.eng.OnIssue = (*shard).fetchPrefetches
+	s.eng.OnEvict = (*shard).evictResident
+	s.eng.Cache().OnEvict = s.cacheEvicted
+	s.cAccesses = s.eng.Counters.Handle("accesses")
+	s.cFaults = s.eng.Counters.Handle("faults")
+	s.cResidentHits = s.eng.Counters.Handle("resident_hits")
+	s.cDemandWaits = s.eng.Counters.Handle("demand_waits")
+	return s
 }
 
 // Now reports the runtime's virtual time.
-func (m *Memory) Now() sim.Time {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.clock.Now()
-}
+func (m *Memory) Now() sim.Time { return m.clock.Now() }
 
 // LastFault reports the virtual-time latency of the most recent fault —
 // total, and the CPU-serial share that cannot overlap other goroutines'
@@ -323,22 +380,23 @@ func (m *Memory) Now() sim.Time {
 // drives the Memory: the closed-loop concurrency model (internal/load)
 // reads it per operation.
 func (m *Memory) LastFault() (total, serial sim.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lastLatency, m.lastSerial
+	return sim.Duration(m.lastLatency.Load()), sim.Duration(m.lastSerial.Load())
 }
 
 // SetRecording toggles metric collection — populate/warmup phases run with
 // recording off, exactly like the simulator's warmup. Turning recording on
 // snapshots cache counters so Stats covers only the measured phase. Bytes
-// always move; only accounting pauses.
+// always move; only accounting pauses. Shards toggle one by one: call only
+// while no operations are in flight.
 func (m *Memory) SetRecording(on bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if on && !m.eng.Recording() {
-		m.cacheStats0 = m.eng.Cache().Stats()
+	for _, s := range m.shards {
+		s.mu.Lock()
+		if on && !s.eng.Recording() {
+			s.cacheStats0 = s.eng.Cache().Stats()
+		}
+		s.eng.SetRecording(on)
+		s.mu.Unlock()
 	}
-	m.eng.SetRecording(on)
 }
 
 // Host exposes the remote substrate (stats, repair, rebalance hooks). The
@@ -346,70 +404,30 @@ func (m *Memory) SetRecording(on bool) {
 func (m *Memory) Host() *remote.Host { return m.host }
 
 // Prefetcher exposes the configured prefetcher (e.g. to read per-client
-// predictor statistics off a *prefetch.Leap). Prefetcher state is guarded
-// by the runtime's fault-path lock: inspect it only while no operations are
-// in flight.
-func (m *Memory) Prefetcher() prefetch.Prefetcher { return m.eng.Prefetcher() }
-
-// newFrame takes a frame off the free list, or allocates one.
-func (m *Memory) newFrame() *frame {
-	f := m.frameFree
-	if f == nil {
-		return &frame{data: make([]byte, remote.PageSize)}
-	}
-	m.frameFree = f.next
-	f.next = nil
-	f.dirty = false
-	return f
-}
-
-// freeFrame returns a frame to the pool.
-func (m *Memory) freeFrame(f *frame) {
-	f.next = m.frameFree
-	m.frameFree = f
-}
+// predictor statistics off a *prefetch.Leap). With WithShards beyond 1
+// every stripe owns a separate predictor and this returns stripe 0's; use
+// Client.PredictorStats for the cross-stripe aggregate. Prefetcher state is
+// guarded by its stripe's fault-path lock: inspect it only while no
+// operations are in flight.
+func (m *Memory) Prefetcher() prefetch.Prefetcher { return m.shards[0].eng.Prefetcher() }
 
 // zeroFrame clears a recycled frame's bytes.
 func zeroFrame(f *frame) {
 	clear(f.data)
 }
 
-// cacheEvicted keeps the cgroup charge and the frame table in step with the
-// page cache: a cache entry leaving uncharges it, and its frame is released
-// unless the page is (or is becoming) resident.
-func (m *Memory) cacheEvicted(page core.PageID) {
-	m.res.Charged--
-	if m.faulting.Contains(page) || m.res.Contains(page) {
-		return
+// loadErr reports the latched unrecoverable failure, or nil.
+func (m *Memory) loadErr() error {
+	if p := m.err.Load(); p != nil {
+		return *p
 	}
-	if f, ok := m.frames.Get(page); ok {
-		m.frames.Delete(page)
-		m.freeFrame(f)
-	}
+	return nil
 }
 
-// evictResident is the engine's residency-eviction hook: the victim's bytes
-// are written back to the remote host if dirty (through the async ticket
-// engine, behind the bounded dirty backlog), and its frame is released
-// unless the page cache still references the page. The async engine copies
-// the bytes on enqueue, so the frame can be recycled immediately.
-func (m *Memory) evictResident(page core.PageID) {
-	f, ok := m.frames.Get(page)
-	if !ok {
-		return
-	}
-	if f.dirty {
-		m.written.Put(page, struct{}{})
-		m.host.WritePageAsync(page, f.data)
-		f.dirty = false
-		if m.host.PendingWrites() >= m.qdepth {
-			m.latchWriteback(m.host.Flush())
-		}
-	}
-	if !m.eng.Cache().Contains(page) {
-		m.frames.Delete(page)
-		m.freeFrame(f)
-	}
+// latchErr records err as the Memory's permanent failure; the first latch
+// wins (CAS — shards race here without a coordinator lock).
+func (m *Memory) latchErr(err error) {
+	m.err.CompareAndSwap(nil, &err)
 }
 
 // latchWriteback records err as the Memory's permanent store failure —
@@ -418,10 +436,10 @@ func (m *Memory) evictResident(page core.PageID) {
 // (the prefetch is abandoned, a later demand access refetches): only a
 // writeback no replica accepted means acked application data is gone.
 func (m *Memory) latchWriteback(err error) {
-	if err == nil || m.err != nil || isReadOpError(err) {
+	if err == nil || m.err.Load() != nil || isReadOpError(err) {
 		return
 	}
-	m.err = fmt.Errorf("leap: writeback failed: %w", err)
+	m.latchErr(fmt.Errorf("leap: writeback failed: %w", err))
 }
 
 // isReadOpError reports whether err is a ticket-engine read failure.
@@ -430,206 +448,45 @@ func isReadOpError(err error) bool {
 	return errors.As(err, &oe) && oe.Op == remote.OpRead
 }
 
-// fetchPrefetches is the engine's prefetch-issue hook: the window's pages
-// get frames and their real bytes are fetched from the host through the
-// async ticket engine — one doorbell flush for the whole window. Pages with
-// no remote image materialize as zeros without touching the wire. A page
-// whose batched fetch fails is abandoned (the in-flight entry is
-// cancelled): no synchronous retry happens here, because a wire round trip
-// with m.mu held would head-of-line-block every client behind one slow
-// replica. A later demand access refetches the page under the overlap
-// budget, where a slow replica delays only its own faulter.
-func (m *Memory) fetchPrefetches(pages []core.PageID) {
-	m.tickets = m.tickets[:0]
-	m.ticketPages = m.ticketPages[:0]
-	for _, page := range pages {
-		f := m.newFrame()
-		m.frames.Put(page, f)
-		if m.written.Contains(page) {
-			m.tickets = append(m.tickets, m.host.ReadPageAsync(page, f.data))
-			m.ticketPages = append(m.ticketPages, page)
-		} else {
-			zeroFrame(f)
-		}
-	}
-	if len(m.tickets) == 0 {
-		return
-	}
-	// Read outcomes are per-ticket (checked below). Flush also drains queued
-	// eviction writebacks; only a write-op failure — acked application data
-	// no replica accepted — may poison the Memory.
-	m.latchWriteback(m.host.Flush())
-	for i, t := range m.tickets {
-		if t.Err() == nil {
-			continue
-		}
-		page := m.ticketPages[i]
-		if f, ok := m.frames.Get(page); ok {
-			m.frames.Delete(page)
-			m.freeFrame(f)
-		}
-		m.eng.CancelPrefetch(page)
-	}
-}
-
-// fetchDemand reads pg's real image from the host into f.data on a full
-// miss. When the overlap budget (WithConcurrency) has room, the fault-path
-// lock is dropped for the read: a single-flight entry is registered so
-// concurrent faults on pg wait for this fetch (and the engine's prefetch
-// dedup is told to skip pg), while faults on other pages proceed in
-// parallel. At the budget — or at WithConcurrency(1) — the read runs with
-// the lock held, strictly serialized.
-func (m *Memory) fetchDemand(pg core.PageID, f *frame) error {
-	if m.conc <= 1 || m.fetching >= m.conc {
-		return m.host.ReadPage(pg, f.data)
-	}
-	d := &demandFetch{done: make(chan struct{})}
-	m.demand.Put(pg, d)
-	m.eng.BlockPrefetch(pg)
-	m.fetching++
-	m.mu.Unlock()
-	err := m.host.ReadPage(pg, f.data)
-	m.mu.Lock()
-	m.fetching--
-	m.eng.UnblockPrefetch(pg)
-	m.demand.Delete(pg)
-	close(d.done)
-	return err
-}
-
-// page runs one access by client pid to pg through the shared fault path
-// and returns its frame. This is the runtime counterpart of the simulator's
-// step: flush landed prefetches, check residency, fault through
-// cache/in-flight/miss, consult the client's predictor, map the page in.
-// Callers hold m.mu; the returned frame is valid only until the lock is
-// released.
-func (m *Memory) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
-	if m.err != nil {
-		return nil, m.err
-	}
-	if pg < 0 {
-		return nil, fmt.Errorf("leap: negative page %d", pg)
-	}
-	recording := m.eng.Recording()
-	if recording {
-		*m.cAccesses++
-	}
-	first := true
-	var now sim.Time
-	for {
-		now = m.clock.Now()
-		m.eng.FlushArrivals(now)
-
-		// Resident: no fault.
-		if m.res.Touch(pg) {
-			if recording && first {
-				*m.cResidentHits++
-			}
-			m.lastLatency, m.lastSerial = 0, 0
-			f, _ := m.frames.Get(pg)
-			return f, nil
-		}
-		if first {
-			if recording {
-				*m.cFaults++
-			}
-			first = false
-		}
-
-		// Single-flight: another goroutine is demand-fetching pg. Wait for
-		// its map-in and retry from the residency check. The waited access
-		// is accounted as a hit (it pays no full miss of its own) and is
-		// not re-recorded with the predictor.
-		d, ok := m.demand.Get(pg)
-		if !ok {
-			break
-		}
-		if recording {
-			*m.cDemandWaits++
-		}
-		m.mu.Unlock()
-		<-d.done
-		m.mu.Lock()
-		if m.err != nil {
-			return nil, m.err
-		}
-	}
-
-	m.faulting.Put(pg, struct{}{})
-	latency, miss := m.eng.Fault(pid, 0, pg, now)
-	m.lastLatency, m.lastSerial = latency, m.eng.LastFaultSerial
-	if miss {
-		// Full miss: fetch the real bytes (zeros when the page has no
-		// remote image — memory never written reads as zero).
-		f := m.newFrame()
-		if m.written.Contains(pg) {
-			if m.plane != nil {
-				// Remotely served faults are the plane's hot-page frequency
-				// feed: natural hotspots drive ReplicateHot.
-				m.plane.ObserveRead(pg)
-			}
-			if err := m.fetchDemand(pg, f); err != nil {
-				// Unwind the half-taken fault. The engine has already
-				// recorded the miss and charged the device model, so the
-				// clock must still advance by the fault's latency — device
-				// queue occupancy and the latency histogram stay truthful —
-				// but OnAccess/MapIn are skipped: there are no bytes to map,
-				// and the page stays non-resident so a retry after the
-				// outage heals faults through cleanly.
-				m.freeFrame(f)
-				m.faulting.Delete(pg)
-				m.clock.Advance(latency)
-				return nil, fmt.Errorf("leap: page %d unreachable: %w", pg, err)
-			}
-		} else {
-			zeroFrame(f)
-		}
-		m.frames.Put(pg, f)
-	}
-	m.clock.Advance(latency)
-	now = m.clock.Now()
-	m.eng.OnAccess(m, m.res, pid, 0, pg, miss, now)
-	m.eng.MapIn(m, m.res, 0, pg, now)
-	m.faulting.Delete(pg)
-	f, ok := m.frames.Get(pg)
-	if !ok {
-		// Unreachable by construction: every path above installed a frame.
-		return nil, fmt.Errorf("leap: page %d lost its frame", pg)
-	}
-	return f, m.err
-}
-
 // Get faults page pg in (prefetching around it) and returns its 4KB frame.
-// The returned slice is a read-only view into the runtime's frame table,
-// valid until the next Memory operation — which makes it safe only when one
-// goroutine drives the Memory. Concurrent callers should use Client.Get
-// (which copies) or ReadAt; use WriteAt to mutate pages.
+// The returned slice is a read-only view into the owning shard's frame
+// table, valid until the next Memory operation — which makes it safe only
+// when one goroutine drives the Memory. Concurrent callers should use
+// Client.Get (which copies) or ReadAt; use WriteAt to mutate pages.
 func (m *Memory) Get(pg core.PageID) ([]byte, error) {
-	m.mu.Lock()
-	f, err := m.page(0, pg)
-	now, due := m.planeDueLocked()
-	m.mu.Unlock()
-	if due {
-		m.tickPlane(now)
+	s := m.shardFor(pg)
+	s.mu.Lock()
+	f, err := s.page(0, pg)
+	var data []byte
+	if err == nil {
+		data = f.data
+	}
+	s.mu.Unlock()
+	if m.plane != nil {
+		if now, due := m.planeDue(); due {
+			m.tickPlane(now)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return f.data, nil
+	return data, nil
 }
 
 // getInto faults pg in on behalf of pid and copies its frame into dst while
-// the lock is held — the concurrency-safe form of Get.
+// the shard lock is held — the concurrency-safe form of Get.
 func (m *Memory) getInto(pid prefetch.PID, pg core.PageID, dst []byte) error {
-	m.mu.Lock()
-	f, err := m.page(pid, pg)
+	s := m.shardFor(pg)
+	s.mu.Lock()
+	f, err := s.page(pid, pg)
 	if err == nil {
 		copy(dst, f.data)
 	}
-	now, due := m.planeDueLocked()
-	m.mu.Unlock()
-	if due {
-		m.tickPlane(now)
+	s.mu.Unlock()
+	if m.plane != nil {
+		if now, due := m.planeDue(); due {
+			m.tickPlane(now)
+		}
 	}
 	return err
 }
@@ -641,24 +498,27 @@ func (m *Memory) getInto(pid prefetch.PID, pg core.PageID, dst []byte) error {
 func (m *Memory) ReadAt(p []byte, off int64) (int, error) { return m.readAt(0, p, off) }
 
 // readAt is ReadAt on behalf of client pid. Bytes are copied out while the
-// fault-path lock is held, page by page.
+// owning shard's lock is held, page by page.
 func (m *Memory) readAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("leap: negative offset %d", off)
 	}
 	n := 0
 	for n < len(p) {
-		m.mu.Lock()
-		f, err := m.page(pid, core.PageID(off/remote.PageSize))
+		pg := core.PageID(off / remote.PageSize)
+		s := m.shardFor(pg)
+		s.mu.Lock()
+		f, err := s.page(pid, pg)
 		if err != nil {
-			m.mu.Unlock()
+			s.mu.Unlock()
 			return n, err
 		}
 		c := copy(p[n:], f.data[off%remote.PageSize:])
-		now, due := m.planeDueLocked()
-		m.mu.Unlock()
-		if due {
-			m.tickPlane(now)
+		s.mu.Unlock()
+		if m.plane != nil {
+			if now, due := m.planeDue(); due {
+				m.tickPlane(now)
+			}
 		}
 		n += c
 		off += int64(c)
@@ -680,18 +540,21 @@ func (m *Memory) writeAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 	}
 	n := 0
 	for n < len(p) {
-		m.mu.Lock()
-		f, err := m.page(pid, core.PageID(off/remote.PageSize))
+		pg := core.PageID(off / remote.PageSize)
+		s := m.shardFor(pg)
+		s.mu.Lock()
+		f, err := s.page(pid, pg)
 		if err != nil {
-			m.mu.Unlock()
+			s.mu.Unlock()
 			return n, err
 		}
 		c := copy(f.data[off%remote.PageSize:], p[n:])
 		f.dirty = true
-		now, due := m.planeDueLocked()
-		m.mu.Unlock()
-		if due {
-			m.tickPlane(now)
+		s.mu.Unlock()
+		if m.plane != nil {
+			if now, due := m.planeDue(); due {
+				m.tickPlane(now)
+			}
 		}
 		n += c
 		off += int64(c)
@@ -699,37 +562,39 @@ func (m *Memory) writeAt(pid prefetch.PID, p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// Flush drains every queued asynchronous remote operation (the host's
-// ticket queues and the engine's writeback backlog) and reports the first
+// Flush drains every queued asynchronous remote operation (each shard's
+// writeback backlog, then the host's ticket queues) and reports the first
 // store failure, if any. Resident dirty frames stay local — they are
 // memory, not a write-through cache — and reach the host on eviction.
 func (m *Memory) Flush() error {
-	m.mu.Lock()
-	err := m.flushLocked()
-	now, due := m.planeDueLocked()
-	m.mu.Unlock()
-	if due {
-		m.tickPlane(now)
+	err := m.flushAll()
+	if m.plane != nil {
+		if now, due := m.planeDue(); due {
+			m.tickPlane(now)
+		}
 	}
 	return err
 }
 
-// flushLocked is Flush with m.mu held.
-func (m *Memory) flushLocked() error {
-	m.eng.FlushWriteback(0, m.clock.Now())
-	if err := m.host.Flush(); err != nil && m.err == nil && !isReadOpError(err) {
-		m.err = fmt.Errorf("leap: flush failed: %w", err)
+// flushAll drains per-shard writeback backlogs (one shard lock at a time)
+// and then the shared host, latching any store failure.
+func (m *Memory) flushAll() error {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		s.eng.FlushWriteback(0, m.clock.Now())
+		s.mu.Unlock()
 	}
-	return m.err
+	if err := m.host.Flush(); err != nil && m.err.Load() == nil && !isReadOpError(err) {
+		m.latchErr(fmt.Errorf("leap: flush failed: %w", err))
+	}
+	return m.loadErr()
 }
 
 // Close flushes queued remote operations and, when the runtime owns its
 // in-process cluster, closes the host. A host supplied via WithRemoteHost
 // is left open for its owner.
 func (m *Memory) Close() error {
-	m.mu.Lock()
-	err := m.flushLocked()
-	m.mu.Unlock()
+	err := m.flushAll()
 	if m.ownHost {
 		if cerr := m.host.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -759,7 +624,8 @@ type Stats struct {
 	// Accuracy is prefetch hits / prefetch issued; Coverage is prefetch
 	// hits / faults (§3.1 definitions).
 	Accuracy, Coverage float64
-	// Latency summarizes the virtual-time fault latency distribution.
+	// Latency summarizes the virtual-time fault latency distribution,
+	// merged across shards.
 	Latency metrics.Summary
 	// Host is the remote substrate's accounting (wire frames, failovers,
 	// repairs).
@@ -769,36 +635,41 @@ type Stats struct {
 	Control ControlStats
 }
 
-// Stats reports the runtime's cumulative accounting. Safe to call
-// concurrently with operations; the snapshot is internally consistent.
+// Stats reports the runtime's cumulative accounting, summed across shards.
+// Safe to call concurrently with operations; each shard's contribution is
+// internally consistent (shards are visited one lock at a time, so under
+// concurrent load the cross-shard snapshot is per-stripe, not global — with
+// WithShards(1), or while no operations are in flight, it is exact).
 func (m *Memory) Stats() Stats {
-	m.mu.Lock()
-	c := &m.eng.Counters
-	cs := m.eng.Cache().Stats()
-	s := Stats{
-		Accesses:       c.Get("accesses"),
-		ResidentHits:   c.Get("resident_hits"),
-		Faults:         c.Get("faults"),
-		CacheHits:      c.Get("cache_hits"),
-		InflightHits:   c.Get("inflight_hits"),
-		Misses:         c.Get("cache_misses"),
-		DemandWaits:    c.Get("demand_waits"),
-		PrefetchIssued: c.Get("prefetch_issued"),
-		Swapouts:       c.Get("swapouts"),
-		Latency:        m.eng.FaultLatency.Summarize(),
-		// Host stats are taken under m.mu too (m.mu → host.mu is the
-		// ordering everywhere), so the whole snapshot is one instant.
-		Host: m.host.Stats(),
+	var s Stats
+	var lat metrics.Histogram
+	var prefetchHits int64
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		c := &sh.eng.Counters
+		cs := sh.eng.Cache().Stats()
+		s.Accesses += c.Get("accesses")
+		s.ResidentHits += c.Get("resident_hits")
+		s.Faults += c.Get("faults")
+		s.CacheHits += c.Get("cache_hits")
+		s.InflightHits += c.Get("inflight_hits")
+		s.Misses += c.Get("cache_misses")
+		s.DemandWaits += c.Get("demand_waits")
+		s.PrefetchIssued += c.Get("prefetch_issued")
+		s.Swapouts += c.Get("swapouts")
+		lat.Merge(&sh.eng.FaultLatency)
+		prefetchHits += cs.PrefetchHits - sh.cacheStats0.PrefetchHits
+		sh.mu.Unlock()
 	}
-	cacheStats0 := m.cacheStats0
-	m.mu.Unlock()
-	// The plane's accessors take its own lock; reading them after m.mu is
-	// released keeps the lock order acyclic (and the counters are atomics).
+	s.Latency = lat.Summarize()
+	// The host and plane keep their own locks; reading them with no shard
+	// lock held keeps the lock order acyclic.
+	s.Host = m.host.Stats()
 	s.Control = m.controlStats()
 	if s.Accesses > 0 {
 		s.HitRatio = 1 - float64(s.Misses)/float64(s.Accesses)
 	}
-	prefetchHits := cs.PrefetchHits - cacheStats0.PrefetchHits + s.InflightHits
+	prefetchHits += s.InflightHits
 	if s.PrefetchIssued > 0 {
 		s.Accuracy = float64(prefetchHits) / float64(s.PrefetchIssued)
 	}

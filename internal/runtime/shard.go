@@ -1,0 +1,365 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"leap/internal/core"
+	"leap/internal/pagecache"
+	"leap/internal/pagemap"
+	"leap/internal/paging"
+	"leap/internal/prefetch"
+	"leap/internal/remote"
+	"leap/internal/sim"
+)
+
+// shard is one PageID stripe of the fault path: its own engine (predictor,
+// page cache, latency models), residency LRU, frame table, written/faulting
+// sets and single-flight demand table, all guarded by its own mutex. Page pg
+// belongs to shard pg & m.mask (round-robin striping, so hot contiguous
+// ranges spread across stripes), and a page's bytes, cache entry and
+// residency charge only ever live in its owning shard — the single-owner
+// invariant CheckShardInvariants verifies. Cross-shard state (virtual clock,
+// error latch, demand-overlap budget, control-plane cadence) lives on Memory
+// as atomics, so a hit takes exactly one lock: its shard's.
+//
+// Lock order: shard.mu → plane.mu → host.mu. A fault path holds at most its
+// own shard's lock (never two shards), may observe the plane (plane.mu) and
+// flush the host (host.mu) under it; control ticks run with no shard lock
+// held, entering at plane.mu.
+type shard struct {
+	m   *Memory
+	idx int
+
+	// mu serializes this stripe's fault path: engine, residency, frame
+	// table. It is dropped across single-flight demand fetches (see
+	// fetchDemand) and never held across a Client-visible return.
+	mu sync.Mutex
+
+	eng *paging.Engine[*shard]
+	res *paging.Resident
+
+	// frames holds the real bytes of every local page of this stripe:
+	// resident pages plus prefetched pages parked in the cache and in
+	// flight.
+	frames    *pagemap.Map[*frame]
+	frameFree *frame
+	// written tracks stripe pages with a remote image (including writes
+	// still queued in the host's dirty buffer): only those are fetched from
+	// the host; everything else reads as zeros without touching the wire.
+	written *pagemap.Map[struct{}]
+	// faulting is the set of stripe pages currently traversing the fault
+	// path: the eager cache policy frees their cache entries mid-fault (the
+	// page table takes ownership), and the eviction callback must not drop
+	// their frames. More than one entry only under concurrent faults.
+	faulting *pagemap.Map[struct{}]
+	// demand is the single-flight table: a stripe page being demand-fetched
+	// with the lock dropped maps to the entry concurrent faulters wait on.
+	demand *pagemap.Map[*demandFetch]
+
+	tickets     []*remote.Ticket
+	ticketPages []core.PageID
+
+	// cacheStats0 snapshots cache counters at measurement start, so
+	// accuracy/coverage cover only the recorded phase (mirrors the
+	// simulator's warmup handling).
+	cacheStats0 pagecache.Stats
+
+	cAccesses     *int64
+	cFaults       *int64
+	cResidentHits *int64
+	cDemandWaits  *int64
+}
+
+// shardFor routes a page to its owning stripe. Negative pages land on an
+// arbitrary shard; page() rejects them before touching any state.
+func (m *Memory) shardFor(pg core.PageID) *shard { return m.shards[uint64(pg)&m.mask] }
+
+// Shards reports how many PageID stripes the fault path runs (1 without
+// WithShards).
+func (m *Memory) Shards() int { return len(m.shards) }
+
+// newFrame takes a frame off the shard's free list, or allocates one.
+func (s *shard) newFrame() *frame {
+	f := s.frameFree
+	if f == nil {
+		return &frame{data: make([]byte, remote.PageSize)}
+	}
+	s.frameFree = f.next
+	f.next = nil
+	f.dirty = false
+	return f
+}
+
+// freeFrame returns a frame to the shard's pool.
+func (s *shard) freeFrame(f *frame) {
+	f.next = s.frameFree
+	s.frameFree = f
+}
+
+// cacheEvicted keeps the cgroup charge and the frame table in step with the
+// page cache: a cache entry leaving uncharges it, and its frame is released
+// unless the page is (or is becoming) resident.
+func (s *shard) cacheEvicted(page core.PageID) {
+	s.res.Charged--
+	if s.faulting.Contains(page) || s.res.Contains(page) {
+		return
+	}
+	if f, ok := s.frames.Get(page); ok {
+		s.frames.Delete(page)
+		s.freeFrame(f)
+	}
+}
+
+// evictResident is the engine's residency-eviction hook: the victim's bytes
+// are written back to the remote host if dirty (through the async ticket
+// engine, behind the bounded dirty backlog), and its frame is released
+// unless the page cache still references the page. The async engine copies
+// the bytes on enqueue, so the frame can be recycled immediately.
+func (s *shard) evictResident(page core.PageID) {
+	f, ok := s.frames.Get(page)
+	if !ok {
+		return
+	}
+	m := s.m
+	if f.dirty {
+		s.written.Put(page, struct{}{})
+		m.host.WritePageAsync(page, f.data)
+		f.dirty = false
+		if m.host.PendingWrites() >= m.qdepth {
+			m.latchWriteback(m.host.Flush())
+		}
+	}
+	if !s.eng.Cache().Contains(page) {
+		s.frames.Delete(page)
+		s.freeFrame(f)
+	}
+}
+
+// fetchPrefetches is the engine's prefetch-issue hook: the window's pages
+// get frames and their real bytes are fetched from the host through the
+// async ticket engine — one doorbell flush for the whole window. Pages with
+// no remote image materialize as zeros without touching the wire. A page
+// whose batched fetch fails is abandoned (the in-flight entry is
+// cancelled): no synchronous retry happens here, because a wire round trip
+// with the shard lock held would head-of-line-block every client of the
+// stripe behind one slow replica. A later demand access refetches the page
+// under the overlap budget, where a slow replica delays only its own
+// faulter.
+func (s *shard) fetchPrefetches(pages []core.PageID) {
+	m := s.m
+	s.tickets = s.tickets[:0]
+	s.ticketPages = s.ticketPages[:0]
+	for _, page := range pages {
+		f := s.newFrame()
+		s.frames.Put(page, f)
+		if s.written.Contains(page) {
+			s.tickets = append(s.tickets, m.host.ReadPageAsync(page, f.data))
+			s.ticketPages = append(s.ticketPages, page)
+		} else {
+			zeroFrame(f)
+		}
+	}
+	if len(s.tickets) == 0 {
+		return
+	}
+	// Read outcomes are per-ticket (checked below). Flush also drains queued
+	// eviction writebacks — from every shard; the host is shared — and only
+	// a write-op failure (acked application data no replica accepted) may
+	// poison the Memory.
+	m.latchWriteback(m.host.Flush())
+	for i, t := range s.tickets {
+		if t.Err() == nil {
+			continue
+		}
+		page := s.ticketPages[i]
+		if f, ok := s.frames.Get(page); ok {
+			s.frames.Delete(page)
+			s.freeFrame(f)
+		}
+		s.eng.CancelPrefetch(page)
+	}
+}
+
+// fetchDemand reads pg's real image from the host into f.data on a full
+// miss. When the global overlap budget (WithConcurrency) has room, the
+// shard's lock is dropped for the read: a single-flight entry is registered
+// so concurrent faults on pg wait for this fetch (and the engine's prefetch
+// dedup is told to skip pg), while faults on other pages — same shard or
+// not — proceed in parallel. At the budget — or at WithConcurrency(1) — the
+// read runs with the lock held, strictly serialized.
+func (s *shard) fetchDemand(pg core.PageID, f *frame) error {
+	m := s.m
+	if m.conc <= 1 {
+		return m.host.ReadPage(pg, f.data)
+	}
+	if n := m.fetching.Add(1); n > int64(m.conc) {
+		m.fetching.Add(-1)
+		return m.host.ReadPage(pg, f.data)
+	}
+	d := &demandFetch{done: make(chan struct{})}
+	s.demand.Put(pg, d)
+	s.eng.BlockPrefetch(pg)
+	s.mu.Unlock()
+	err := m.host.ReadPage(pg, f.data)
+	s.mu.Lock()
+	m.fetching.Add(-1)
+	s.eng.UnblockPrefetch(pg)
+	s.demand.Delete(pg)
+	close(d.done)
+	return err
+}
+
+// page runs one access by client pid to pg through the stripe's fault path
+// and returns its frame. This is the runtime counterpart of the simulator's
+// step: flush landed prefetches, check residency, fault through
+// cache/in-flight/miss, consult the client's predictor, map the page in.
+// Callers hold s.mu; the returned frame is valid only until the lock is
+// released.
+func (s *shard) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
+	m := s.m
+	if err := m.loadErr(); err != nil {
+		return nil, err
+	}
+	if pg < 0 {
+		return nil, fmt.Errorf("leap: negative page %d", pg)
+	}
+	recording := s.eng.Recording()
+	if recording {
+		*s.cAccesses++
+	}
+	first := true
+	var now sim.Time
+	for {
+		now = m.clock.Now()
+		s.eng.FlushArrivals(now)
+
+		// Resident: no fault.
+		if s.res.Touch(pg) {
+			if recording && first {
+				*s.cResidentHits++
+			}
+			// Store-on-transition: a hit zeroes the last-fault snapshot, but
+			// atomic stores are full barriers and this is the hottest line in
+			// the runtime — skip the store when the snapshot is already zero
+			// (every hit after the first).
+			if m.lastLatency.Load() != 0 {
+				m.lastLatency.Store(0)
+			}
+			if m.lastSerial.Load() != 0 {
+				m.lastSerial.Store(0)
+			}
+			f, _ := s.frames.Get(pg)
+			return f, nil
+		}
+		if first {
+			if recording {
+				*s.cFaults++
+			}
+			first = false
+		}
+
+		// Single-flight: another goroutine is demand-fetching pg. Wait for
+		// its map-in and retry from the residency check. The waited access
+		// is accounted as a hit (it pays no full miss of its own) and is
+		// not re-recorded with the predictor.
+		d, ok := s.demand.Get(pg)
+		if !ok {
+			break
+		}
+		if recording {
+			*s.cDemandWaits++
+		}
+		s.mu.Unlock()
+		<-d.done
+		s.mu.Lock()
+		if err := m.loadErr(); err != nil {
+			return nil, err
+		}
+	}
+
+	s.faulting.Put(pg, struct{}{})
+	latency, miss := s.eng.Fault(pid, 0, pg, now)
+	m.lastLatency.Store(int64(latency))
+	m.lastSerial.Store(int64(s.eng.LastFaultSerial))
+	if miss {
+		// Full miss: fetch the real bytes (zeros when the page has no
+		// remote image — memory never written reads as zero).
+		f := s.newFrame()
+		if s.written.Contains(pg) {
+			if m.plane != nil {
+				// Remotely served faults are the plane's hot-page frequency
+				// feed: natural hotspots drive ReplicateHot.
+				m.plane.ObserveRead(pg)
+			}
+			if err := s.fetchDemand(pg, f); err != nil {
+				// Unwind the half-taken fault. The engine has already
+				// recorded the miss and charged the device model, so the
+				// clock must still advance by the fault's latency — device
+				// queue occupancy and the latency histogram stay truthful —
+				// but OnAccess/MapIn are skipped: there are no bytes to map,
+				// and the page stays non-resident so a retry after the
+				// outage heals faults through cleanly.
+				s.freeFrame(f)
+				s.faulting.Delete(pg)
+				m.clock.Advance(latency)
+				return nil, fmt.Errorf("leap: page %d unreachable: %w", pg, err)
+			}
+		} else {
+			zeroFrame(f)
+		}
+		s.frames.Put(pg, f)
+	}
+	m.clock.Advance(latency)
+	now = m.clock.Now()
+	s.eng.OnAccess(s, s.res, pid, 0, pg, miss, now)
+	s.eng.MapIn(s, s.res, 0, pg, now)
+	s.faulting.Delete(pg)
+	f, ok := s.frames.Get(pg)
+	if !ok {
+		// Unreachable by construction: every path above installed a frame.
+		return nil, fmt.Errorf("leap: page %d lost its frame", pg)
+	}
+	return f, m.loadErr()
+}
+
+// CheckShardInvariants verifies the single-owner contract of the sharded
+// fault path over every page in [0, span): a page may appear in a shard's
+// residency set, page cache, frame table, written set, faulting set or
+// single-flight demand table only if that shard owns the page's stripe —
+// which implies no page is resident (or cached, or in flight) in two shards
+// at once. It is a test hook: call it only while no operations are in
+// flight. The first violation found is returned; nil means the invariant
+// holds across the span.
+func (m *Memory) CheckShardInvariants(span core.PageID) error {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for pg := core.PageID(0); pg < span; pg++ {
+			if m.shardFor(pg) == s {
+				continue
+			}
+			var where string
+			switch {
+			case s.res.Contains(pg):
+				where = "residency set"
+			case s.eng.Cache().Contains(pg):
+				where = "page cache"
+			case s.frames.Contains(pg):
+				where = "frame table"
+			case s.written.Contains(pg):
+				where = "written set"
+			case s.faulting.Contains(pg):
+				where = "faulting set"
+			case s.demand.Contains(pg):
+				where = "demand table"
+			default:
+				continue
+			}
+			s.mu.Unlock()
+			return fmt.Errorf("leap: page %d found in shard %d's %s (owner is shard %d of %d)",
+				pg, s.idx, where, uint64(pg)&m.mask, len(m.shards))
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}

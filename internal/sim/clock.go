@@ -7,7 +7,10 @@
 // run is a pure function of its configuration and seed.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Duration is a span of virtual time in nanoseconds. It mirrors
 // time.Duration's unit so values print naturally, but it is a distinct type:
@@ -58,28 +61,36 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 // Clock is a monotonically advancing virtual clock. The zero value is a clock
-// at time zero, ready to use.
+// at time zero, ready to use. Reads and advances are atomic, so a clock may
+// be shared across goroutines (the sharded leap.Memory fault path advances
+// one clock from several stripes concurrently); single-threaded use behaves
+// exactly as before. A Clock must not be copied after first use.
 type Clock struct {
-	now Time
+	now atomic.Int64
 }
 
 // Now reports the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
 
 // Advance moves the clock forward by d. Negative durations are ignored:
 // virtual time is monotone.
 func (c *Clock) Advance(d Duration) Time {
 	if d > 0 {
-		c.now += Time(d)
+		return Time(c.now.Add(int64(d)))
 	}
-	return c.now
+	return Time(c.now.Load())
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future; a clock never
 // moves backwards.
 func (c *Clock) AdvanceTo(t Time) Time {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return Time(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
 	}
-	return c.now
 }

@@ -83,6 +83,15 @@ func WithQueueDepth(depth int) Option { return runtime.WithQueueDepth(depth) }
 // setting.
 func WithConcurrency(n int) Option { return runtime.WithConcurrency(n) }
 
+// WithShards splits the fault path into n PageID stripes (default 1;
+// rounded up to a power of two), each with its own lock, predictor, page
+// cache and residency budget, so page-cache hits on different stripes
+// proceed in parallel — one shard lock per hit. Page pg lands on stripe
+// pg mod n (round-robin striping). WithShards(1) is bit-identical to the
+// serialized runtime; n beyond 1 is incompatible with WithPrefetcher, and
+// WithCacheCapacity must supply at least one page per shard.
+func WithShards(n int) Option { return runtime.WithShards(n) }
+
 // WithClock shares a virtual clock with the runtime (for virtual-time
 // tests: fault latencies are charged to it, so a test can interleave its
 // own events deterministically). Default: a private clock starting at 0.

@@ -195,15 +195,17 @@ func TestConcurrencyOneMatchesPR4(t *testing.T) {
 	}
 }
 
-// TestMemoryConcurrentChaosCrashRepair runs the PR-2 crash-restart chaos
-// scenario against the concurrent runtime while the stress load is live:
-// the schedule's virtual-time offsets map onto operation-count thresholds,
-// so mid-load an agent crashes (memory wiped), the host repairs onto
+// chaosCrashRepairScenario runs the PR-2 crash-restart chaos scenario
+// against the concurrent runtime while the stress load is live: the
+// schedule's virtual-time offsets map onto operation-count thresholds, so
+// mid-load an agent crashes (memory wiped), the host repairs onto
 // survivors, the agent rejoins empty and is repaired onto again — with
 // four goroutines faulting throughout. Every client must finish without an
 // error (a watchdog catches deadlock), no acked write may be lost, and
-// replication must be fully restored.
-func TestMemoryConcurrentChaosCrashRepair(t *testing.T) {
+// replication must be fully restored. extra options layer on top of the
+// base configuration (the sharded variant passes WithShards).
+func chaosCrashRepairScenario(t *testing.T, extra ...Option) {
+	t.Helper()
 	const agents = 4
 	cfg := load.Config{Clients: 4, Goroutines: 4, OpsPerClient: 1200, PagesPerClient: 64, Seed: 53}
 	if testing.Short() {
@@ -227,8 +229,8 @@ func TestMemoryConcurrentChaosCrashRepair(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer host.Close()
-	mem, err := Open(WithRemoteHost(host), WithSeed(67), WithCacheCapacity(64),
-		WithQueueDepth(8), WithConcurrency(cfg.Goroutines))
+	mem, err := Open(append([]Option{WithRemoteHost(host), WithSeed(67), WithCacheCapacity(64),
+		WithQueueDepth(8), WithConcurrency(cfg.Goroutines)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,4 +395,20 @@ func TestMemoryConcurrentChaosCrashRepair(t *testing.T) {
 	if st := host.Stats(); st.Failovers == 0 && injected == 0 {
 		t.Errorf("crash window left no trace (no failovers, no injected failures): %+v", st)
 	}
+}
+
+// TestMemoryConcurrentChaosCrashRepair runs the crash-restart chaos
+// scenario on the default (single-stripe) runtime.
+func TestMemoryConcurrentChaosCrashRepair(t *testing.T) { chaosCrashRepairScenario(t) }
+
+// TestMemoryShardedChaosCrashRepair replays the crash-restart chaos
+// scenario against a sharded Memory (4 stripes): agent crash, repair and
+// rejoin land while four goroutines fault across all stripes, so failover
+// and purge interleave with every shard's lock — exercising the shard.mu →
+// host.mu ordering under failure. The deadlock watchdog turns a lock-order
+// violation into a stack dump instead of a silent test-binary timeout.
+func TestMemoryShardedChaosCrashRepair(t *testing.T) {
+	wd := deadlockWatchdog(150 * time.Second)
+	defer wd.Stop()
+	chaosCrashRepairScenario(t, WithShards(4))
 }

@@ -2,6 +2,8 @@ package leap
 
 import (
 	"bytes"
+	"fmt"
+	goruntime "runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -216,14 +218,16 @@ func TestMemoryConcurrentSlowReplica(t *testing.T) {
 	}
 }
 
-// TestMemoryPlaneSelfHeals is the end-to-end control-plane cycle over the
+// planeSelfHealScenario is the end-to-end control-plane cycle over the
 // live runtime's private cluster: a partitioned agent is detected and
 // failed (slabs re-replicated), sustained slow-agent pressure makes the
 // autoscaler provision a brand-new agent, probation brings the healed agent
 // back, the pressure's end drains the extra capacity — and every byte ever
-// acknowledged stays readable and correct throughout.
-func TestMemoryPlaneSelfHeals(t *testing.T) {
-	mem, err := Open(
+// acknowledged stays readable and correct throughout. extra options layer
+// on top of the base configuration (the sharded variant passes WithShards).
+func planeSelfHealScenario(t *testing.T, extra ...Option) {
+	t.Helper()
+	opts := []Option{
 		WithControlPlane(ControlConfig{
 			Detector: ControlDetectorConfig{
 				// SuspectErr == FailErr: once suspected, the agent gets no
@@ -244,7 +248,8 @@ func TestMemoryPlaneSelfHeals(t *testing.T) {
 			},
 		}),
 		WithSeed(7), WithCacheCapacity(32), WithQueueDepth(4),
-	)
+	}
+	mem, err := Open(append(opts, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,4 +370,33 @@ func TestMemoryPlaneSelfHeals(t *testing.T) {
 	if !strings.Contains(st.Control.Phases, "healthy") {
 		t.Fatalf("phase string %q reports no healthy agent", st.Control.Phases)
 	}
+}
+
+// TestMemoryPlaneSelfHeals runs the control-plane self-healing cycle on the
+// default (single-stripe) runtime.
+func TestMemoryPlaneSelfHeals(t *testing.T) { planeSelfHealScenario(t) }
+
+// deadlockWatchdog arms a wall-clock timer that dumps every goroutine's
+// stack and panics if the caller has not stopped it within d — turning a
+// lock-order deadlock into a diagnosable failure instead of a test-binary
+// timeout. Stop the returned timer when the scenario completes.
+func deadlockWatchdog(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, func() {
+		buf := make([]byte, 1<<20)
+		n := goruntime.Stack(buf, true)
+		panic(fmt.Sprintf("deadlock watchdog fired after %v:\n%s", d, buf[:n]))
+	})
+}
+
+// TestMemoryPlaneSelfHealsSharded replays the whole self-healing cycle
+// against a sharded Memory (4 stripes): every fault path interleaves shard
+// locks with plane ticks and host mutations, so a violation of the
+// documented shard.mu → plane.mu → host.mu order would deadlock here. The
+// watchdog converts such a deadlock into a stack dump; correctness (zero
+// acked-write loss, detector/scaler cycle) is asserted by the scenario
+// itself.
+func TestMemoryPlaneSelfHealsSharded(t *testing.T) {
+	wd := deadlockWatchdog(120 * time.Second)
+	defer wd.Stop()
+	planeSelfHealScenario(t, WithShards(4))
 }

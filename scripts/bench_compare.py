@@ -1,15 +1,29 @@
 #!/usr/bin/env python3
-"""Diff a fresh benchmark run against a recorded baseline and fail on
+"""Diff a fresh benchmark run against a baseline run and fail on
 regressions.
 
     bench_compare.py BASELINE.json FRESH.json [--threshold 0.15]
+                     [--headline NAME,NAME,...] [--zero-alloc PREFIX]
 
-Both files are the scripts/bench2json.py format. The gate applies to the
-two headline hot-path benchmarks:
+Both files are the scripts/bench2json.py format. The baseline may be the
+recorded trajectory file (BENCH_1.json, BENCH_8.json, ...) or — the A/B
+mode scripts/bench_ab.sh drives — a fresh run of an older commit on the
+SAME machine, which makes the thresholds meaningful on any hardware.
+
+The gate applies to the headline hot-path benchmarks (--headline overrides
+the default list):
 
   - ns/op more than --threshold (default 15%) above baseline fails;
   - ANY allocs/op increase fails (the hot path is allocation-free by
-    construction; one alloc per op is how it regresses silently).
+    construction; one alloc per op is how it regresses silently);
+  - any fresh benchmark whose name starts with a --zero-alloc prefix must
+    report 0 allocs/op, baseline or not (this is how brand-new hit-path
+    benchmarks are gated before a baseline containing them exists).
+
+A headline benchmark missing from either file is WARNED about and skipped
+rather than fatal: an A/B baseline built from an older commit predates
+newly added benchmarks. Only if NO headline benchmark can be compared at
+all is the data considered unusable.
 
 Other shared benchmarks are reported for context but don't gate: figure
 drivers run one iteration each, so their ns/op is too noisy to gate on.
@@ -29,7 +43,25 @@ def load(path):
     except (OSError, ValueError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    return {b["name"]: b.get("metrics", {}) for b in doc.get("benchmarks", [])}
+    # A file may carry -count N repetitions of the same benchmark (the A/B
+    # harness runs 3). Reduce duplicates best-of-N: minimum ns/op — the run
+    # least disturbed by scheduler noise — and maximum allocs/op, so a
+    # single allocating repetition still trips the allocation gate.
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name, m = b["name"], b.get("metrics", {})
+        if name not in out:
+            out[name] = dict(m)
+            continue
+        acc = out[name]
+        for unit, val in m.items():
+            if unit == "allocs/op":
+                acc[unit] = max(acc.get(unit, 0.0), val)
+            elif unit in acc:
+                acc[unit] = min(acc[unit], val)
+            else:
+                acc[unit] = val
+    return out
 
 
 def main():
@@ -38,13 +70,27 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional ns/op growth on headline benchmarks")
+    ap.add_argument("--headline", default=",".join(HEADLINE),
+                    help="comma-separated gated benchmark names "
+                         "(default: %(default)s)")
+    ap.add_argument("--zero-alloc", action="append", default=[],
+                    metavar="PREFIX",
+                    help="fail if any fresh benchmark with this name prefix "
+                         "reports allocs/op > 0 (repeatable)")
     args = ap.parse_args()
+    headline = [n for n in args.headline.split(",") if n]
 
     base, fresh = load(args.baseline), load(args.fresh)
-    missing = [n for n in HEADLINE if n not in base or n not in fresh]
-    if missing:
-        print(f"bench_compare: headline benchmarks missing: {', '.join(missing)}",
+    missing = [n for n in headline if n not in base or n not in fresh]
+    for n in missing:
+        side = "baseline" if n not in base else "fresh run"
+        print(f"bench_compare: WARNING: headline benchmark {n} missing from "
+              f"{side}; skipping (older baselines predate newer benchmarks)",
               file=sys.stderr)
+    gated = [n for n in headline if n not in missing]
+    if headline and not gated:
+        print("bench_compare: no headline benchmark present in both files; "
+              "nothing to gate on", file=sys.stderr)
         sys.exit(2)
 
     failures = []
@@ -57,7 +103,7 @@ def main():
         if bn is None or fn is None:
             continue
         delta = (fn - bn) / bn if bn else 0.0
-        gate = name in HEADLINE
+        gate = name in gated
         verdict = ""
         if gate:
             if delta > args.threshold:
@@ -71,6 +117,20 @@ def main():
         print(f"{name:<42} {bn:>12.4g} {fn:>12.4g} {delta:>+7.1%} "
               f"{ba:>6g}->{fa:<6g}{mark}")
     print("(* gated headline benchmark)")
+
+    for prefix in args.zero_alloc:
+        hits = 0
+        for name, m in sorted(fresh.items()):
+            if not name.startswith(prefix) or "allocs/op" not in m:
+                continue
+            hits += 1
+            if m["allocs/op"] > 0:
+                failures.append(
+                    f"{name}: FAIL allocs/op {m['allocs/op']:g} != 0 "
+                    f"(--zero-alloc {prefix})")
+        if hits == 0:
+            print(f"bench_compare: WARNING: --zero-alloc {prefix} matched no "
+                  "fresh benchmark", file=sys.stderr)
 
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
