@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check bench-check-recorded smoke runtime-smoke concurrency-smoke shard-smoke elastic-smoke selfheal-smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check bench-check-recorded smoke runtime-smoke concurrency-smoke shard-smoke elastic-smoke selfheal-smoke ztier-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -93,6 +93,17 @@ selfheal-smoke:
 	$(GO) run ./cmd/leapbench -scale small -fig selfheal | grep -v 'done in' > /tmp/leap_selfheal_b.txt
 	diff /tmp/leap_selfheal_a.txt /tmp/leap_selfheal_b.txt
 	$(GO) test -race -run 'TestMemoryPlaneSelfHeals|TestMemoryConcurrentSlowReplica|TestMemoryTransientOutageRecovers' .
+
+# Ztier smoke: the compressed-victim-tier figure must be byte-identical
+# across two runs (real page images travel through the codec and the
+# compressed wire frames end to end), and the tier's seal/unseal machinery
+# must survive the race-enabled stress, property and codec suites.
+ztier-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig ztier | grep -v 'done in' > /tmp/leap_ztier_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig ztier | grep -v 'done in' > /tmp/leap_ztier_b.txt
+	diff /tmp/leap_ztier_a.txt /tmp/leap_ztier_b.txt
+	$(GO) test -race -run 'TestMemoryZtier|TestMemoryWireCompression' .
+	$(GO) test -race ./internal/ztier
 
 # Regenerate every figure and table at full scale.
 figures:

@@ -311,6 +311,57 @@ func BenchmarkMemoryGetHit(b *testing.B) {
 	}
 }
 
+func BenchmarkMemoryGetZtierHit(b *testing.B) {
+	// The compressed-tier hit path — the Get an application pays when its
+	// page was sealed into the local victim tier rather than shipped
+	// remote: pagemap miss, one decompress into a recycled frame, LRU
+	// insert, one victim sealed back in its place. Gated A/B by
+	// scripts/bench_ab.sh (recorded in BENCH_9.json) and must stay
+	// allocation-free in steady state, like the resident hit path.
+	const frames = 64
+	const span = 192 // 3× the frame budget: every Get below misses residency
+	mem, err := Open(
+		WithSeed(42), WithCacheCapacity(frames), WithQueueDepth(8),
+		WithCompressedTier(int64(span)*RemotePageSize),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mem.Close()
+	buf := make([]byte, RemotePageSize)
+	for pg := int64(0); pg < span; pg++ {
+		// Semi-compressible record pages: the codec takes its LZ path, so
+		// the benchmark times real compression work, not the stored
+		// fallback memcpy.
+		const record = "record-deadbeef!"
+		x := uint64(pg)*0x9E3779B97F4A7C15 + 1
+		for off := 0; off+len(record) <= len(buf); off += len(record) {
+			copy(buf[off:], record)
+			x = x*6364136223846793005 + 1442695040888963407
+			buf[off+12] = byte(x >> 33)
+		}
+		if _, err := mem.WriteAt(buf, pg*RemotePageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One warm scan settles the steady state: every page resident or
+	// sealed, frame and tier-entry free lists populated.
+	for pg := int64(0); pg < span; pg++ {
+		if _, err := mem.Get(PageID(pg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := mem.Get(PageID(i % span))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = data
+	}
+}
+
 func BenchmarkMemoryConcurrentGet(b *testing.B) {
 	// The concurrent hit path: parallel goroutines, each with its own
 	// Client handle, Get-ing resident pages. Pays one lock round trip and

@@ -64,6 +64,8 @@ var figureRegistry = []figureRunner{
 		func(s Scale, seed uint64) string { return fmt.Sprint(Selfheal(s, seed)) }},
 	{"concurrency", "multi-client leap.Memory: modeled throughput over goroutines × clients",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Concurrency(s, seed)) }},
+	{"ztier", "compressed victim tier: hit ratio, hit latency and compression ratio at equal RAM",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Ztier(s, seed)) }},
 	{"ablations", "design-choice sweeps: majority vote, windows, eviction, isolation",
 		func(s Scale, seed uint64) string {
 			parts := []string{

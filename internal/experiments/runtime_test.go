@@ -74,6 +74,7 @@ elastic     self-healing control plane: diurnal ramp, static vs detector+autosca
 runtime     end-to-end leap.Memory: prefetchers over a live in-proc remote cluster
 selfheal    leap.Memory under mid-run agent faults: unsupervised vs WithControlPlane
 concurrency multi-client leap.Memory: modeled throughput over goroutines × clients
+ztier       compressed victim tier: hit ratio, hit latency and compression ratio at equal RAM
 ablations   design-choice sweeps: majority vote, windows, eviction, isolation
 `
 	if got := Describe(); got != want {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestZtierDeterministic is the acceptance gate for `leapbench -fig ztier`:
+// byte-identical output for the same seed across repeated runs and across
+// -parallel settings. The figure drives real page images through the
+// compressed tier and the wire codec, so this also pins the codec's
+// determinism end to end.
+func TestZtierDeterministic(t *testing.T) {
+	a, ok := RunFigure("ztier", Small, 42)
+	if !ok {
+		t.Fatal("ztier figure not registered")
+	}
+	b, _ := RunFigure("ztier", Small, 42)
+	if a.Output != b.Output {
+		t.Fatalf("same-seed ztier runs diverged:\n%s\n---\n%s", a.Output, b.Output)
+	}
+	names := []string{"ztier", "1"}
+	seq := RunAll(names, Small, 42, 1)
+	par := RunAll(names, Small, 42, 4)
+	for i := range names {
+		if StripMeasured(seq[i].Output) != StripMeasured(par[i].Output) {
+			t.Fatalf("figure %s: parallel output differs from sequential", names[i])
+		}
+	}
+	if seq[0].Output != a.Output {
+		t.Fatal("runner output differs from direct RunFigure output")
+	}
+}
+
+// TestZtierTierWins pins the headline acceptance criterion: with the tier
+// enabled at equal RAM, at least one application workload shows a strictly
+// higher hit ratio than the tier-off run — and every tier cell that hit the
+// tier realized a compression ratio above 1 (the pages are designed
+// semi-compressible).
+func TestZtierTierWins(t *testing.T) {
+	r := Ztier(Small, 42)
+	wins := 0
+	for _, app := range ztierApps {
+		off, ok1 := r.Cell(app, "off")
+		tier, ok2 := r.Cell(app, "tier")
+		if !ok1 || !ok2 {
+			t.Fatalf("missing cells for %s", app)
+		}
+		if off.ZtierHits != 0 || off.Ratio != 0 {
+			t.Fatalf("%s: tier-off cell reports tier activity: %+v", app, off)
+		}
+		if tier.HitRatio > off.HitRatio {
+			wins++
+		}
+		if tier.ZtierHits > 0 && tier.Ratio <= 1 {
+			t.Fatalf("%s: tier hit %d times at ratio %.2f — compression never paid",
+				app, tier.ZtierHits, tier.Ratio)
+		}
+	}
+	if wins == 0 {
+		t.Fatalf("no app improved its hit ratio with the tier on at equal RAM:\n%s", r)
+	}
+}
+
+// TestZtierWireCompressionObserved checks the on-wire leg: at least one
+// tier cell must have moved compressed batched frames and saved bytes.
+func TestZtierWireCompressionObserved(t *testing.T) {
+	r := Ztier(Small, 42)
+	for _, app := range ztierApps {
+		if c, _ := r.Cell(app, "tier"); c.WireSaved > 0 {
+			return
+		}
+	}
+	t.Fatalf("no tier cell observed on-wire compression savings:\n%s", r)
+}

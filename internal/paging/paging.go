@@ -135,8 +135,12 @@ type Engine[O any] struct {
 	OnIssue func(O, []core.PageID)
 	// OnEvict, when set, is called for every resident page evicted by
 	// MapIn, before its writeback is priced — the hook a byte-moving
-	// runtime uses to write real dirty page images back.
-	OnEvict func(O, core.PageID)
+	// runtime uses to write real dirty page images back. It reports
+	// whether the victim still travels to the backing store: false means
+	// the owner absorbed it locally (sealed it into a compressed victim
+	// tier), so MapIn skips the modeled writeback. Returning true
+	// everywhere reproduces the legacy pricing exactly.
+	OnEvict func(O, core.PageID) bool
 	// Owns, when set, restricts prefetch issue to pages the filter accepts.
 	// The sharded runtime runs one engine per PageID stripe: the Leap
 	// predictor's trend candidates stay in-stripe by construction (trend
@@ -147,6 +151,19 @@ type Engine[O any] struct {
 	// Nil (every single-engine owner) keeps all candidates: byte-identical
 	// to the unfiltered engine.
 	Owns func(core.PageID) bool
+
+	// ztier, set via EnableZtier, reports pages sealed in the owner's
+	// compressed victim tier; ztierLatency is the decompress charge a
+	// fault pays to unseal one. Nil keeps the engine byte-identical to the
+	// tierless fault path.
+	ztier        func(core.PageID) bool
+	ztierLatency sim.Duration
+	cZtierHits   *int64
+
+	// LastFaultZtier reports whether the most recent Fault landed in the
+	// compressed victim tier (EnableZtier): miss stays false — no remote
+	// fetch — but the caller must unseal the page's bytes itself.
+	LastFaultZtier bool
 
 	// LastFaultSerial is the CPU-serial share of the most recent Fault's
 	// latency: the part spent traversing the data path and cache under the
@@ -223,6 +240,21 @@ func (e *Engine[O]) Device() storage.Device { return e.dev }
 // Prefetcher exposes the configured prefetcher.
 func (e *Engine[O]) Prefetcher() prefetch.Prefetcher { return e.pf }
 
+// EnableZtier attaches a compressed victim tier to the fault path: contains
+// reports sealed pages, and a fault landing on one charges the data path's
+// hit cost plus latency (the decompress charge) instead of a fabric round
+// trip — miss stays false, LastFaultZtier is set, and the caller unseals the
+// bytes itself. Prefetch candidate generation skips sealed pages: a sealed
+// dirty page's only fresh image is local, so fetching its stale remote copy
+// would break read-your-writes. The "ztier_hits" counter is registered here
+// rather than in New so engines without a tier keep their counter set — and
+// their byte-identical recorded output — unchanged.
+func (e *Engine[O]) EnableZtier(contains func(core.PageID) bool, latency sim.Duration) {
+	e.ztier = contains
+	e.ztierLatency = latency
+	e.cZtierHits = e.Counters.Handle("ztier_hits")
+}
+
 // SetRecording toggles metric collection; warmup runs with recording off.
 func (e *Engine[O]) SetRecording(on bool) { e.recording = on }
 
@@ -251,6 +283,7 @@ func (e *Engine[O]) FlushArrivals(now sim.Time) {
 // for prefetch feedback; cpu identifies the faulting core for multi-queue
 // devices (the simulator uses the PID for both, the runtime a single core).
 func (e *Engine[O]) Fault(pid prefetch.PID, cpu int, page core.PageID, now sim.Time) (latency sim.Duration, miss bool) {
+	e.LastFaultZtier = false
 	if hit, wasPre := e.cache.Lookup(page, now); hit {
 		latency = e.path.HitLatency()
 		e.LastFaultSerial = latency
@@ -276,6 +309,16 @@ func (e *Engine[O]) Fault(pid prefetch.PID, cpu int, page core.PageID, now sim.T
 			// An in-flight consumption is still a prefetch success for
 			// accuracy accounting (it was added and used).
 			*e.cInflightAdds++
+		}
+	} else if e.ztier != nil && e.ztier(page) {
+		// Sealed in the compressed victim tier: the page decompresses
+		// locally — all CPU-serial, no fabric round trip, no device-model
+		// draw.
+		e.LastFaultZtier = true
+		latency = e.path.HitLatency() + e.ztierLatency
+		e.LastFaultSerial = latency
+		if e.recording {
+			*e.cZtierHits++
 		}
 	} else {
 		// Full miss: data path overhead + device + page allocation.
@@ -333,6 +376,9 @@ func (e *Engine[O]) issuePrefetches(o O, res *Resident, cpu int, cands []core.Pa
 		if e.blocked.Len() > 0 && e.blocked.Contains(c) {
 			continue
 		}
+		if e.ztier != nil && e.ztier(c) {
+			continue
+		}
 		if e.Owns != nil && !e.Owns(c) {
 			continue
 		}
@@ -365,6 +411,9 @@ func (e *Engine[O]) issuePrefetchBatches(o O, res *Resident, cpu int, cands []co
 			continue
 		}
 		if e.blocked.Len() > 0 && e.blocked.Contains(c) {
+			continue
+		}
+		if e.ztier != nil && e.ztier(c) {
 			continue
 		}
 		if e.Owns != nil && !e.Owns(c) {
@@ -451,27 +500,41 @@ func (e *Engine[O]) MapIn(o O, res *Resident, cpu int, page core.PageID, now sim
 			res.head = nil
 		}
 		res.m.Delete(victim.page)
+		writeback := true
 		if e.OnEvict != nil {
-			e.OnEvict(o, victim.page)
+			writeback = e.OnEvict(o, victim.page)
 		}
 		// Write-back to the backing store (asynchronous: occupies the
 		// device/fabric but nobody waits). Swap-out is slot-clustered, so
 		// it neither pays nor causes read-head seeks. On a batching device
 		// the victim joins the bounded dirty backlog instead of paying a
-		// submission per page.
-		if e.batchDev != nil {
-			e.wbPages = append(e.wbPages, victim.page)
-			e.wbDists = append(e.wbDists, 1)
-			if len(e.wbPages) >= e.qdepth {
-				e.FlushWriteback(cpu, now)
-			}
-		} else {
-			e.dev.Write(cpu, now, victim.page, 1)
+		// submission per page. A victim the owner absorbed locally (sealed
+		// into the compressed tier) skips the charge — no bytes traveled.
+		if writeback {
+			e.QueueWriteback(cpu, victim.page, now)
 		}
 		e.freeResEntry(victim)
 		if e.recording {
 			*e.cSwapouts++
 		}
+	}
+}
+
+// QueueWriteback prices one asynchronous page writeback on the modeled
+// device — the charge MapIn applies to every evicted victim — without any
+// residency bookkeeping: on a batching device the page joins the bounded
+// dirty backlog, otherwise it pays an individual submission. The compressed
+// tier uses it when a sealed victim overflows to the backing store for
+// real.
+func (e *Engine[O]) QueueWriteback(cpu int, page core.PageID, now sim.Time) {
+	if e.batchDev != nil {
+		e.wbPages = append(e.wbPages, page)
+		e.wbDists = append(e.wbDists, 1)
+		if len(e.wbPages) >= e.qdepth {
+			e.FlushWriteback(cpu, now)
+		}
+	} else {
+		e.dev.Write(cpu, now, page, 1)
 	}
 }
 

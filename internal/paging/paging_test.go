@@ -44,7 +44,7 @@ func TestResidentTouchLRUOrder(t *testing.T) {
 		t.Fatal("page 0 missing")
 	}
 	var evicted []core.PageID
-	e.OnEvict = func(_ int, pg core.PageID) { evicted = append(evicted, pg) }
+	e.OnEvict = func(_ int, pg core.PageID) bool { evicted = append(evicted, pg); return true }
 	e.MapIn(0, r, 0, 100, now) // 17 resident > budget 16: one eviction
 	if len(evicted) != 1 {
 		t.Fatalf("evictions = %v, want exactly one", evicted)

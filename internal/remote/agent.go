@@ -6,6 +6,8 @@ import (
 	"log"
 	"net"
 	"sync"
+
+	"leap/internal/ztier"
 )
 
 // Agent is a remote-memory server: it donates memory as slabs and serves
@@ -18,6 +20,10 @@ type Agent struct {
 
 	// Counters (read under mu).
 	reads, writes int64
+
+	// comp is the wire codec state for compressed read responses (used
+	// under mu).
+	comp ztier.Compressor
 }
 
 // NewAgent returns an agent donating maxSlabs slabs of slabPages pages
@@ -138,7 +144,12 @@ func (a *Agent) Handle(req *Request) *Response {
 			a.reads++
 			results[i] = BatchReadResult{Status: StatusOK, Page: slab[off : off+PageSize]}
 		}
-		resp, err := EncodeReadBatchResponse(results)
+		var resp *Response
+		if ReadBatchCompressed(req) {
+			resp, err = EncodeReadBatchResponseCompressed(results, &a.comp)
+		} else {
+			resp, err = EncodeReadBatchResponse(results)
+		}
 		if err != nil {
 			return &Response{Status: StatusBadFrame}
 		}

@@ -3,6 +3,8 @@ package remote
 import (
 	"encoding/binary"
 	"fmt"
+
+	"leap/internal/ztier"
 )
 
 // This file defines the doorbell-style batched frames of the wire protocol:
@@ -19,6 +21,30 @@ import (
 // Write batch request payload:  u32 count, then count × (u64 slab, u32 off,
 //                               PageSize bytes).
 // Write batch response payload: u32 count, then count × u8 status.
+//
+// Compressed frames: when the high bit of the count word
+// (batchCompressFlag) is set, page images travel through the ztier block
+// codec instead of raw. A compressed read *request* carries the same refs —
+// the flag only asks the agent to compress its response. Entry layouts with
+// the flag set:
+//
+// Read batch response payload:  u32 count|flag, then count × (u8 status,
+//                               [u16 clen, clen bytes] only when status==OK).
+// Write batch request payload:  u32 count|flag, then count × (u64 slab,
+//                               u32 off, u16 clen, clen bytes).
+//
+// The codec's stored-block fallback bounds clen at
+// ztier.MaxEncodedLen(PageSize), so a compressed frame is never more than
+// 3 bytes per entry larger than its raw twin and always fits
+// maxWirePayload. Decoders accept both layouts transparently, keyed off the
+// flag, so mixed fleets interoperate: a host that never sets the flag never
+// sees a compressed frame.
+
+// batchCompressFlag marks a batch payload whose page images travel through
+// the ztier codec. It rides the high bit of the leading count word:
+// MaxBatchOps is far below 2^31, so on legacy frames the bit is always
+// zero.
+const batchCompressFlag uint32 = 1 << 31
 
 // BatchRef names one page inside a batched frame.
 type BatchRef struct {
@@ -50,12 +76,33 @@ func EncodeReadBatch(refs []BatchRef) (*Request, error) {
 	return &Request{Op: OpReadBatch, Payload: payload}, nil
 }
 
-// DecodeReadBatch unpacks an OpReadBatch request payload.
+// EncodeReadBatchCompressed packs refs into an OpReadBatch request whose
+// compress flag asks the agent to return its page images compressed. The
+// request itself carries only refs — nothing in it is compressed; the flag
+// is a negotiation bit echoed on the response.
+func EncodeReadBatchCompressed(refs []BatchRef) (*Request, error) {
+	req, err := EncodeReadBatch(refs)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(req.Payload[0:4], uint32(len(refs))|batchCompressFlag)
+	return req, nil
+}
+
+// ReadBatchCompressed reports whether an OpReadBatch request asks for a
+// compressed response.
+func ReadBatchCompressed(req *Request) bool {
+	return req.Op == OpReadBatch && payloadCompressed(req.Payload)
+}
+
+// DecodeReadBatch unpacks an OpReadBatch request payload. The compress flag
+// is legal here (it only governs the response shape); ReadBatchCompressed
+// reports it.
 func DecodeReadBatch(req *Request) ([]BatchRef, error) {
 	if req.Op != OpReadBatch {
 		return nil, fmt.Errorf("remote: DecodeReadBatch on op %d", req.Op)
 	}
-	n, err := batchCount(req.Payload)
+	n, _, err := batchCount(req.Payload)
 	if err != nil {
 		return nil, err
 	}
@@ -102,13 +149,40 @@ func EncodeReadBatchResponse(results []BatchReadResult) (*Response, error) {
 	return &Response{Status: StatusOK, Payload: payload}, nil
 }
 
-// DecodeReadBatchResponse unpacks an OpReadBatch response. Pages alias the
-// response payload.
+// EncodeReadBatchResponseCompressed packs per-page results into an
+// OpReadBatch response with every OK page run through the ztier codec:
+// (u8 status, u16 clen, clen bytes) per entry. The codec's stored fallback
+// bounds clen, so the frame always fits maxWirePayload.
+func EncodeReadBatchResponseCompressed(results []BatchReadResult, comp *ztier.Compressor) (*Response, error) {
+	if len(results) == 0 || len(results) > MaxBatchOps {
+		return nil, fmt.Errorf("remote: read batch response of %d ops", len(results))
+	}
+	payload := make([]byte, 4, 4+len(results)*(1+2+ztier.MaxEncodedLen(PageSize)))
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(results))|batchCompressFlag)
+	for _, r := range results {
+		payload = append(payload, r.Status)
+		if r.Status != StatusOK {
+			continue
+		}
+		if len(r.Page) != PageSize {
+			return nil, fmt.Errorf("remote: OK read result with %dB page", len(r.Page))
+		}
+		lenPos := len(payload)
+		payload = append(payload, 0, 0) // clen backfilled below
+		payload = comp.Compress(payload, r.Page)
+		binary.LittleEndian.PutUint16(payload[lenPos:], uint16(len(payload)-lenPos-2))
+	}
+	return &Response{Status: StatusOK, Payload: payload}, nil
+}
+
+// DecodeReadBatchResponse unpacks an OpReadBatch response, raw or
+// compressed (keyed off the payload's compress flag). Raw pages alias the
+// response payload; compressed pages are freshly allocated.
 func DecodeReadBatchResponse(resp *Response) ([]BatchReadResult, error) {
 	if resp.Status != StatusOK {
 		return nil, statusError(OpReadBatch, resp.Status)
 	}
-	n, err := batchCount(resp.Payload)
+	n, compressed, err := batchCount(resp.Payload)
 	if err != nil {
 		return nil, err
 	}
@@ -120,13 +194,23 @@ func DecodeReadBatchResponse(resp *Response) ([]BatchReadResult, error) {
 		}
 		results[i].Status = resp.Payload[off]
 		off++
-		if results[i].Status == StatusOK {
-			if off+PageSize > len(resp.Payload) {
-				return nil, fmt.Errorf("remote: read batch response truncated at op %d page", i)
-			}
-			results[i].Page = resp.Payload[off : off+PageSize]
-			off += PageSize
+		if results[i].Status != StatusOK {
+			continue
 		}
+		if compressed {
+			page, used, err := decodeCompressedPage(resp.Payload[off:])
+			if err != nil {
+				return nil, fmt.Errorf("remote: read batch response op %d: %w", i, err)
+			}
+			results[i].Page = page
+			off += used
+			continue
+		}
+		if off+PageSize > len(resp.Payload) {
+			return nil, fmt.Errorf("remote: read batch response truncated at op %d page", i)
+		}
+		results[i].Page = resp.Payload[off : off+PageSize]
+		off += PageSize
 	}
 	if off != len(resp.Payload) {
 		return nil, fmt.Errorf("remote: read batch response has %d trailing bytes", len(resp.Payload)-off)
@@ -158,27 +242,72 @@ func EncodeWriteBatch(refs []BatchRef, pages [][]byte) (*Request, error) {
 	return &Request{Op: OpWriteBatch, Payload: payload}, nil
 }
 
-// DecodeWriteBatch unpacks an OpWriteBatch request payload. Pages alias the
-// request payload.
+// EncodeWriteBatchCompressed packs refs and their page images into an
+// OpWriteBatch request with every page run through the ztier codec:
+// (u64 slab, u32 off, u16 clen, clen bytes) per entry.
+func EncodeWriteBatchCompressed(refs []BatchRef, pages [][]byte, comp *ztier.Compressor) (*Request, error) {
+	if len(refs) == 0 || len(refs) > MaxBatchOps {
+		return nil, fmt.Errorf("remote: write batch of %d ops (want 1..%d)", len(refs), MaxBatchOps)
+	}
+	if len(pages) != len(refs) {
+		return nil, fmt.Errorf("remote: write batch with %d refs but %d pages", len(refs), len(pages))
+	}
+	payload := make([]byte, 4, 4+len(refs)*(batchRefSize+2+ztier.MaxEncodedLen(PageSize)))
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(len(refs))|batchCompressFlag)
+	for i, r := range refs {
+		if len(pages[i]) != PageSize {
+			return nil, fmt.Errorf("remote: write batch page %d has %dB", i, len(pages[i]))
+		}
+		var ref [batchRefSize]byte
+		binary.LittleEndian.PutUint64(ref[0:8], uint64(r.Slab))
+		binary.LittleEndian.PutUint32(ref[8:12], r.PageOff)
+		payload = append(payload, ref[:]...)
+		lenPos := len(payload)
+		payload = append(payload, 0, 0) // clen backfilled below
+		payload = comp.Compress(payload, pages[i])
+		binary.LittleEndian.PutUint16(payload[lenPos:], uint16(len(payload)-lenPos-2))
+	}
+	return &Request{Op: OpWriteBatch, Payload: payload}, nil
+}
+
+// DecodeWriteBatch unpacks an OpWriteBatch request payload, raw or
+// compressed (keyed off the payload's compress flag). Raw pages alias the
+// request payload; compressed pages are freshly allocated.
 func DecodeWriteBatch(req *Request) ([]BatchRef, [][]byte, error) {
 	if req.Op != OpWriteBatch {
 		return nil, nil, fmt.Errorf("remote: DecodeWriteBatch on op %d", req.Op)
 	}
-	n, err := batchCount(req.Payload)
+	n, compressed, err := batchCount(req.Payload)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(req.Payload) != 4+n*(batchRefSize+PageSize) {
+	if !compressed && len(req.Payload) != 4+n*(batchRefSize+PageSize) {
 		return nil, nil, fmt.Errorf("remote: write batch payload %dB for %d ops", len(req.Payload), n)
 	}
 	refs := make([]BatchRef, n)
 	pages := make([][]byte, n)
 	off := 4
 	for i := range refs {
+		if off+batchRefSize > len(req.Payload) {
+			return nil, nil, fmt.Errorf("remote: write batch truncated at op %d ref", i)
+		}
 		refs[i].Slab = SlabID(binary.LittleEndian.Uint64(req.Payload[off:]))
 		refs[i].PageOff = binary.LittleEndian.Uint32(req.Payload[off+8:])
-		pages[i] = req.Payload[off+batchRefSize : off+batchRefSize+PageSize]
-		off += batchRefSize + PageSize
+		off += batchRefSize
+		if compressed {
+			page, used, err := decodeCompressedPage(req.Payload[off:])
+			if err != nil {
+				return nil, nil, fmt.Errorf("remote: write batch op %d: %w", i, err)
+			}
+			pages[i] = page
+			off += used
+			continue
+		}
+		pages[i] = req.Payload[off : off+PageSize]
+		off += PageSize
+	}
+	if off != len(req.Payload) {
+		return nil, nil, fmt.Errorf("remote: write batch has %d trailing bytes", len(req.Payload)-off)
 	}
 	return refs, pages, nil
 }
@@ -200,9 +329,12 @@ func DecodeWriteBatchResponse(resp *Response) ([]uint8, error) {
 	if resp.Status != StatusOK {
 		return nil, statusError(OpWriteBatch, resp.Status)
 	}
-	n, err := batchCount(resp.Payload)
+	n, compressed, err := batchCount(resp.Payload)
 	if err != nil {
 		return nil, err
+	}
+	if compressed {
+		return nil, fmt.Errorf("remote: write batch response with compress flag")
 	}
 	if len(resp.Payload) != 4+n {
 		return nil, fmt.Errorf("remote: write batch response payload %dB for %d ops", len(resp.Payload), n)
@@ -210,16 +342,49 @@ func DecodeWriteBatchResponse(resp *Response) ([]uint8, error) {
 	return append([]uint8(nil), resp.Payload[4:]...), nil
 }
 
-// batchCount validates and reads the leading op count of a batch payload.
-func batchCount(payload []byte) (int, error) {
+// batchCount validates and reads the leading op count of a batch payload,
+// separating the compress flag from the count.
+func batchCount(payload []byte) (int, bool, error) {
 	if len(payload) < 4 {
-		return 0, fmt.Errorf("remote: batch payload too short (%dB)", len(payload))
+		return 0, false, fmt.Errorf("remote: batch payload too short (%dB)", len(payload))
 	}
-	n := binary.LittleEndian.Uint32(payload[0:4])
+	word := binary.LittleEndian.Uint32(payload[0:4])
+	compressed := word&batchCompressFlag != 0
+	n := word &^ batchCompressFlag
 	if n == 0 || n > MaxBatchOps {
-		return 0, fmt.Errorf("remote: batch of %d ops (want 1..%d)", n, MaxBatchOps)
+		return 0, false, fmt.Errorf("remote: batch of %d ops (want 1..%d)", n, MaxBatchOps)
 	}
-	return int(n), nil
+	return int(n), compressed, nil
+}
+
+// payloadCompressed reports whether a batch payload carries the compress
+// flag.
+func payloadCompressed(payload []byte) bool {
+	return len(payload) >= 4 && binary.LittleEndian.Uint32(payload[0:4])&batchCompressFlag != 0
+}
+
+// decodeCompressedPage reads one (u16 clen, clen bytes) compressed page
+// entry off the front of b, returning the freshly-allocated page image and
+// the bytes consumed.
+func decodeCompressedPage(b []byte) ([]byte, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("truncated compressed page length")
+	}
+	clen := int(binary.LittleEndian.Uint16(b))
+	if clen == 0 || clen > ztier.MaxEncodedLen(PageSize) {
+		return nil, 0, fmt.Errorf("compressed page of %dB (want 1..%d)", clen, ztier.MaxEncodedLen(PageSize))
+	}
+	if 2+clen > len(b) {
+		return nil, 0, fmt.Errorf("truncated compressed page body (%dB of %dB)", len(b)-2, clen)
+	}
+	page, err := ztier.Decompress(make([]byte, 0, PageSize), b[2:2+clen], PageSize)
+	if err != nil {
+		return nil, 0, fmt.Errorf("corrupt compressed page: %w", err)
+	}
+	if len(page) != PageSize {
+		return nil, 0, fmt.Errorf("compressed page decoded to %dB, want %d", len(page), PageSize)
+	}
+	return page, 2 + clen, nil
 }
 
 // BatchPages reports the page-op count a request frame represents: the
@@ -230,7 +395,7 @@ func BatchPages(req *Request) int {
 	if req.Op != OpReadBatch && req.Op != OpWriteBatch {
 		return 1
 	}
-	n, err := batchCount(req.Payload)
+	n, _, err := batchCount(req.Payload)
 	if err != nil {
 		return 1
 	}

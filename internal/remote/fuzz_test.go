@@ -3,6 +3,8 @@ package remote
 import (
 	"bytes"
 	"testing"
+
+	"leap/internal/ztier"
 )
 
 // FuzzDecodeRequest hammers the request decoder with arbitrary bytes: it
@@ -102,33 +104,76 @@ func FuzzAgentHandle(f *testing.F) {
 	})
 }
 
-// FuzzBatchFrames hammers the batch entry decoders with arbitrary payloads:
-// they must never panic; anything that decodes must re-encode and decode to
-// the same entries (round-trip closure).
+// FuzzBatchFrames hammers the batch entry decoders — raw and compressed —
+// with arbitrary payloads: they must never panic; anything that decodes
+// must re-encode (in both framings) and decode to the same entries
+// (round-trip closure). isRead selects the read decoders, which also run
+// the payload through the read-*response* decoder, the other frame shape
+// that carries compressed page images.
 func FuzzBatchFrames(f *testing.F) {
+	var seedComp ztier.Compressor
 	rb, _ := EncodeReadBatch([]BatchRef{{Slab: 9, PageOff: 2}, {Slab: 9, PageOff: 3}})
 	f.Add(true, rb.Payload)
 	wb, _ := EncodeWriteBatch([]BatchRef{{Slab: 4, PageOff: 0}}, [][]byte{make([]byte, PageSize)})
 	f.Add(false, wb.Payload)
 	f.Add(true, []byte{})
 	f.Add(false, []byte{0xff, 0xff, 0xff, 0xff})
+	crb, _ := EncodeReadBatchCompressed([]BatchRef{{Slab: 9, PageOff: 2}})
+	f.Add(true, crb.Payload)
+	cwb, _ := EncodeWriteBatchCompressed([]BatchRef{{Slab: 4, PageOff: 1}},
+		[][]byte{bytes.Repeat([]byte{0xAB}, PageSize)}, &seedComp)
+	f.Add(false, cwb.Payload)
+	cresp, _ := EncodeReadBatchResponseCompressed([]BatchReadResult{
+		{Status: StatusOK, Page: bytes.Repeat([]byte("leap"), PageSize/4)},
+		{Status: StatusBadSlab},
+	}, &seedComp)
+	f.Add(true, cresp.Payload)
 
 	f.Fuzz(func(t *testing.T, isRead bool, payload []byte) {
 		if len(payload) > maxWirePayload {
 			payload = payload[:maxWirePayload]
 		}
+		var comp ztier.Compressor
 		if isRead {
-			refs, err := DecodeReadBatch(&Request{Op: OpReadBatch, Payload: payload})
+			if refs, err := DecodeReadBatch(&Request{Op: OpReadBatch, Payload: payload}); err == nil {
+				again, err := EncodeReadBatch(refs)
+				if err != nil {
+					t.Fatalf("re-encode of decoded read batch failed: %v", err)
+				}
+				refs2, err := DecodeReadBatch(again)
+				if err != nil || !slicesEqualRefs(refs, refs2) {
+					t.Fatalf("read batch round trip diverged: %v vs %v (%v)", refs, refs2, err)
+				}
+				creq, err := EncodeReadBatchCompressed(refs)
+				if err != nil {
+					t.Fatalf("compressed re-encode of read batch failed: %v", err)
+				}
+				if !ReadBatchCompressed(creq) {
+					t.Fatal("compressed read batch lost its flag")
+				}
+				refs3, err := DecodeReadBatch(creq)
+				if err != nil || !slicesEqualRefs(refs, refs3) {
+					t.Fatalf("compressed read batch round trip diverged (%v)", err)
+				}
+			}
+			// The same bytes as a hostile read response (raw or compressed):
+			// decoded results must survive a compressed re-encode.
+			results, err := DecodeReadBatchResponse(&Response{Status: StatusOK, Payload: payload})
 			if err != nil {
 				return
 			}
-			again, err := EncodeReadBatch(refs)
+			cre, err := EncodeReadBatchResponseCompressed(results, &comp)
 			if err != nil {
-				t.Fatalf("re-encode of decoded read batch failed: %v", err)
+				t.Fatalf("compressed re-encode of read results failed: %v", err)
 			}
-			refs2, err := DecodeReadBatch(again)
-			if err != nil || !slicesEqualRefs(refs, refs2) {
-				t.Fatalf("read batch round trip diverged: %v vs %v (%v)", refs, refs2, err)
+			results2, err := DecodeReadBatchResponse(cre)
+			if err != nil || len(results2) != len(results) {
+				t.Fatalf("compressed read response round trip diverged (%v)", err)
+			}
+			for i := range results {
+				if results[i].Status != results2[i].Status || !bytes.Equal(results[i].Page, results2[i].Page) {
+					t.Fatalf("read result %d diverged through compression", i)
+				}
 			}
 			return
 		}
@@ -147,6 +192,19 @@ func FuzzBatchFrames(f *testing.F) {
 		for i := range pages {
 			if !bytes.Equal(pages[i], pages2[i]) {
 				t.Fatalf("write batch page %d round trip diverged", i)
+			}
+		}
+		creq, err := EncodeWriteBatchCompressed(refs, pages, &comp)
+		if err != nil {
+			t.Fatalf("compressed re-encode of write batch failed: %v", err)
+		}
+		refs3, pages3, err := DecodeWriteBatch(creq)
+		if err != nil || !slicesEqualRefs(refs, refs3) {
+			t.Fatalf("compressed write batch refs round trip diverged (%v)", err)
+		}
+		for i := range pages {
+			if !bytes.Equal(pages[i], pages3[i]) {
+				t.Fatalf("compressed write batch page %d round trip diverged", i)
 			}
 		}
 	})

@@ -7,6 +7,7 @@ import (
 
 	"leap/internal/core"
 	"leap/internal/sim"
+	"leap/internal/ztier"
 )
 
 // HostConfig parameterizes a Host.
@@ -28,6 +29,15 @@ type HostConfig struct {
 	// ticket engine (see RetryPolicy). The zero value keeps the legacy
 	// unlimited-failover behavior.
 	Retry RetryPolicy
+	// Compress ships the async engine's batched doorbell frames with page
+	// images run through the deterministic ztier block codec: write batches
+	// go out compressed, and read batches ask the agent for compressed
+	// responses. Single-op frames and the synchronous paths stay raw. The
+	// savings show up in the WireRawBytes/WireCompressedBytes stats, not in
+	// the latency model — fabric cost models charge per page, and the codec
+	// is deterministic, so enabling compression never perturbs simulated
+	// timings.
+	Compress bool
 }
 
 // DefaultQueueDepth is the default per-agent batch limit of the async
@@ -83,6 +93,10 @@ type HostStats struct {
 	// HotCopies counts hot-page replica installs (ReplicateHot); HotReads
 	// counts reads served by a hot holder outside the slab placement.
 	HotCopies, HotReads int64
+	// CompressedFrames counts batched frames that traveled compressed
+	// (HostConfig.Compress); WireRawBytes is what those frames' payloads
+	// would have cost raw, WireCompressedBytes what they actually cost.
+	CompressedFrames, WireRawBytes, WireCompressedBytes int64
 }
 
 // Host is the machine-local agent of §4.4: it maps the swap address space
@@ -142,6 +156,9 @@ type Host struct {
 	readsPending map[core.PageID]*pendingRead
 	dirty        map[core.PageID]*pendingWrite
 	bufFree      [][]byte // recycled page buffers for pending writes
+
+	// comp is the wire codec state for HostConfig.Compress (used under mu).
+	comp ztier.Compressor
 
 	stats HostStats
 }

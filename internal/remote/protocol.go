@@ -92,9 +92,11 @@ const respHeaderSize = 1 + 1 + 4
 const batchRefSize = 8 + 4
 
 // maxWirePayload bounds any frame payload: the largest legal frame is a
-// full write batch (count word plus MaxBatchOps refs-with-pages). Decoders
-// reject anything larger before allocating.
-const maxWirePayload = 4 + MaxBatchOps*(batchRefSize+PageSize)
+// full *compressed* write batch of incompressible pages — count word plus
+// MaxBatchOps × (ref, u16 clen, stored-fallback page of PageSize+1 bytes).
+// That exceeds the raw write batch by 3 bytes per entry. Decoders reject
+// anything larger before allocating.
+const maxWirePayload = 4 + MaxBatchOps*(batchRefSize+2+PageSize+1)
 
 // EncodeRequest writes r to w in wire format.
 func EncodeRequest(w io.Writer, r *Request) error {

@@ -379,7 +379,13 @@ func (h *Host) issueReads(idx int, batch []queueEntry) error {
 		e.read.attempts++
 		refs[i] = BatchRef{Slab: e.read.slab, PageOff: e.read.off}
 	}
-	req, encErr := EncodeReadBatch(refs)
+	var req *Request
+	var encErr error
+	if h.cfg.Compress {
+		req, encErr = EncodeReadBatchCompressed(refs)
+	} else {
+		req, encErr = EncodeReadBatch(refs)
+	}
 	if encErr != nil {
 		// Wrap as a read OpError: Flush's return value is attributed by op
 		// kind (a read failure must never be mistaken for lost acked data).
@@ -404,6 +410,18 @@ func (h *Host) issueReads(idx int, batch []queueEntry) error {
 			h.retryRead(e.read, idx, decErr, resp.Status)
 		}
 		return nil
+	}
+	if payloadCompressed(resp.Payload) {
+		raw := 4
+		for _, r := range results {
+			raw++
+			if r.Status == StatusOK {
+				raw += PageSize
+			}
+		}
+		h.stats.CompressedFrames++
+		h.stats.WireRawBytes += int64(raw)
+		h.stats.WireCompressedBytes += int64(len(resp.Payload))
 	}
 	for i, e := range batch {
 		if results[i].Status == StatusOK {
@@ -531,9 +549,20 @@ func (h *Host) issueWrites(idx int, batch []queueEntry) error {
 		refs[i] = BatchRef{Slab: e.write.slab, PageOff: e.write.off}
 		pages[i] = e.write.data
 	}
-	req, encErr := EncodeWriteBatch(refs, pages)
+	var req *Request
+	var encErr error
+	if h.cfg.Compress {
+		req, encErr = EncodeWriteBatchCompressed(refs, pages, &h.comp)
+	} else {
+		req, encErr = EncodeWriteBatch(refs, pages)
+	}
 	if encErr != nil {
 		return opError(OpWrite, idx, batch[0].write.page, 0, encErr)
+	}
+	if h.cfg.Compress {
+		h.stats.CompressedFrames++
+		h.stats.WireRawBytes += int64(4 + len(batch)*(batchRefSize+PageSize))
+		h.stats.WireCompressedBytes += int64(len(req.Payload))
 	}
 	h.stats.BatchCalls++
 	h.stats.BatchedPages += int64(len(batch))

@@ -19,6 +19,7 @@ import (
 	"leap/internal/prefetch"
 	"leap/internal/remote"
 	"leap/internal/sim"
+	"leap/internal/ztier"
 )
 
 // Memory is the byte-addressable remote-memory runtime: the paper's full
@@ -144,6 +145,9 @@ type memOptions struct {
 	planeEvery sim.Duration
 	retry      remote.RetryPolicy
 	retrySet   bool
+	ztierBytes int64
+	ztierLat   sim.Duration
+	wireComp   bool
 }
 
 // Option configures Open.
@@ -199,6 +203,39 @@ func WithConcurrency(n int) Option { return func(o *memOptions) { o.conc = n } }
 // WithPrefetcher beyond 1 shard, and WithCacheCapacity must provide at
 // least one page per shard.
 func WithShards(n int) Option { return func(o *memOptions) { o.shards = n } }
+
+// DefaultDecompressLatency is the virtual-time charge of unsealing one page
+// from the compressed victim tier (WithCompressedTier): roughly an LZ4-class
+// 4KB decompression — microseconds, well under the modeled fabric round
+// trip, which is the whole point of the tier.
+const DefaultDecompressLatency = 1500 * sim.Nanosecond
+
+// WithCompressedTier interposes a zswap-style compressed victim tier of the
+// given byte budget between the residency LRU and the remote host (default
+// 0: no tier). Evicted pages with a useful image are sealed — compressed
+// with a deterministic LZ-style codec, incompressible pages capped at ~4KB
+// plus a header — into per-stripe pools charged against the budget; a fault
+// on a sealed page decompresses locally, charging DefaultDecompressLatency
+// on the virtual clock instead of a fabric round trip. Pools overflow
+// oldest-first: dirty victims write back through the async ticket engine.
+// With WithShards the budget is striped like WithCacheCapacity — each
+// stripe's pool lives under its own shard lock, so no new cross-shard locks
+// appear. Zero keeps the fault path bit-identical to the tierless runtime.
+func WithCompressedTier(bytes int64) Option { return func(o *memOptions) { o.ztierBytes = bytes } }
+
+// WithWireCompression ships the private cluster's batched doorbell frames
+// with per-page compressed payloads (default false): write batches go out
+// compressed and read batches ask agents for compressed responses, end to
+// end through any transport. The codec is deterministic, so replay is
+// unchanged — the realized wire ratio shows up in Stats.Host's Wire*
+// counters, not the latency model. Incompatible with WithRemoteHost: set
+// RemoteHostConfig.Compress on the supplied host instead.
+func WithWireCompression(on bool) Option { return func(o *memOptions) { o.wireComp = on } }
+
+// WithDecompressLatency overrides the virtual-time charge of a compressed-
+// tier hit (default DefaultDecompressLatency; zero or negative keeps the
+// default). Meaningful only with WithCompressedTier.
+func WithDecompressLatency(d sim.Duration) Option { return func(o *memOptions) { o.ztierLat = d } }
 
 // WithClock shares a virtual clock with the runtime (for virtual-time
 // tests: fault latencies are charged to it, so a test can interleave its
@@ -262,6 +299,12 @@ func Open(opts ...Option) (*Memory, error) {
 	if o.retrySet && o.host != nil {
 		return nil, fmt.Errorf("leap: WithRetryPolicy configures the private in-process cluster; set RemoteHostConfig.Retry (and SetTimeSource) on the host passed to WithRemoteHost instead")
 	}
+	if o.ztierBytes < 0 {
+		return nil, fmt.Errorf("leap: compressed tier budget %d bytes, need >= 0", o.ztierBytes)
+	}
+	if o.wireComp && o.host != nil {
+		return nil, fmt.Errorf("leap: WithWireCompression configures the private in-process cluster; set RemoteHostConfig.Compress on the host passed to WithRemoteHost instead")
+	}
 	m := &Memory{
 		clock:     o.clock,
 		qdepth:    o.queueDepth,
@@ -292,6 +335,7 @@ func Open(opts ...Option) (*Memory, error) {
 			QueueDepth: o.queueDepth,
 			Seed:       o.seed,
 			Retry:      o.retry,
+			Compress:   o.wireComp,
 		}, transports)
 		if err != nil {
 			return nil, err
@@ -367,6 +411,22 @@ func (m *Memory) newShard(idx, nshards int, o *memOptions) *shard {
 	s.cFaults = s.eng.Counters.Handle("faults")
 	s.cResidentHits = s.eng.Counters.Handle("resident_hits")
 	s.cDemandWaits = s.eng.Counters.Handle("demand_waits")
+	if o.ztierBytes > 0 {
+		// The compressed tier's byte budget is striped exactly like the
+		// frame budget: bytes/nshards each, remainder to the low stripes.
+		// Each pool lives under its stripe's lock — no cross-shard locks.
+		zb := o.ztierBytes / int64(nshards)
+		if int64(idx) < o.ztierBytes%int64(nshards) {
+			zb++
+		}
+		s.ztier = ztier.NewPool(zb, remote.PageSize)
+		s.ztier.OnEvict = s.ztierEvicted
+		lat := o.ztierLat
+		if lat <= 0 {
+			lat = DefaultDecompressLatency
+		}
+		s.eng.EnableZtier(s.ztier.Contains, lat)
+	}
 	return s
 }
 
@@ -619,6 +679,11 @@ type Stats struct {
 	// PrefetchIssued counts pages the prefetcher requested; Swapouts counts
 	// resident evictions.
 	PrefetchIssued, Swapouts int64
+	// Evictions counts residency evictions that reached the byte-moving
+	// eviction hook; WritebackPages counts page images actually pushed to
+	// the host by eviction or compressed-tier overflow. Both are
+	// recording-gated like every counter here.
+	Evictions, WritebackPages int64
 	// HitRatio is the fraction of accesses that did not pay a full miss.
 	HitRatio float64
 	// Accuracy is prefetch hits / prefetch issued; Coverage is prefetch
@@ -633,6 +698,34 @@ type Stats struct {
 	// Control is the attached control plane's view of the cluster and the
 	// actions it has taken (zero-valued without WithControlPlane).
 	Control ControlStats
+	// Ztier is the compressed victim tier's accounting (zero-valued
+	// without WithCompressedTier).
+	Ztier ZtierStats
+}
+
+// ZtierStats is the compressed victim tier's accounting, summed across
+// stripes. The zero value (Enabled false) means no tier is attached; every
+// field is a plain comparable scalar, so Stats stays comparable with == —
+// the discipline the replay-determinism tests rely on (see ControlStats).
+type ZtierStats struct {
+	// Enabled reports whether WithCompressedTier attached a tier.
+	Enabled bool
+	// BudgetBytes is the configured byte budget; UsedBytes and Pages are
+	// the current occupancy (compressed bytes plus per-entry overhead).
+	BudgetBytes, UsedBytes int64
+	Pages                  int
+	// Hits counts faults served by local decompression instead of a remote
+	// read (recording-gated). Seals counts pages compressed in and Takes
+	// exclusive removals on a hit — cumulative since Open, warmup included.
+	Hits, Seals, Takes int64
+	// OverflowEvictions counts sealed pages pushed out by the byte budget;
+	// OverflowWritebacks of those were dirty and went to the host.
+	OverflowEvictions, OverflowWritebacks int64
+	// RawBytes and CompressedBytes are cumulative sealed input and output
+	// sizes; Ratio is their quotient — the realized compression ratio (0
+	// with nothing sealed yet).
+	RawBytes, CompressedBytes int64
+	Ratio                     float64
 }
 
 // Stats reports the runtime's cumulative accounting, summed across shards.
@@ -657,6 +750,22 @@ func (m *Memory) Stats() Stats {
 		s.DemandWaits += c.Get("demand_waits")
 		s.PrefetchIssued += c.Get("prefetch_issued")
 		s.Swapouts += c.Get("swapouts")
+		s.Evictions += sh.nEvictions
+		s.WritebackPages += sh.nWritebacks
+		s.Ztier.Hits += c.Get("ztier_hits")
+		if sh.ztier != nil {
+			zs := sh.ztier.Stats()
+			s.Ztier.Enabled = true
+			s.Ztier.BudgetBytes += sh.ztier.Budget()
+			s.Ztier.UsedBytes += zs.UsedBytes
+			s.Ztier.Pages += zs.Pages
+			s.Ztier.Seals += zs.Seals
+			s.Ztier.Takes += zs.Takes
+			s.Ztier.OverflowEvictions += zs.OverflowEvictions
+			s.Ztier.OverflowWritebacks += zs.OverflowDirty
+			s.Ztier.RawBytes += zs.RawBytes
+			s.Ztier.CompressedBytes += zs.CompressedBytes
+		}
 		lat.Merge(&sh.eng.FaultLatency)
 		prefetchHits += cs.PrefetchHits - sh.cacheStats0.PrefetchHits
 		sh.mu.Unlock()
@@ -675,6 +784,9 @@ func (m *Memory) Stats() Stats {
 	}
 	if s.Faults > 0 {
 		s.Coverage = float64(prefetchHits) / float64(s.Faults)
+	}
+	if s.Ztier.CompressedBytes > 0 {
+		s.Ztier.Ratio = float64(s.Ztier.RawBytes) / float64(s.Ztier.CompressedBytes)
 	}
 	return s
 }

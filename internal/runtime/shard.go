@@ -11,6 +11,7 @@ import (
 	"leap/internal/prefetch"
 	"leap/internal/remote"
 	"leap/internal/sim"
+	"leap/internal/ztier"
 )
 
 // shard is one PageID stripe of the fault path: its own engine (predictor,
@@ -38,6 +39,12 @@ type shard struct {
 
 	eng *paging.Engine[*shard]
 	res *paging.Resident
+
+	// ztier is this stripe's compressed victim tier (nil without
+	// WithCompressedTier): evicted pages with a useful image are sealed
+	// into it instead of paying a remote round trip, and the fault path
+	// unseals on a hit. Guarded by mu like everything else in the stripe.
+	ztier *ztier.Pool
 
 	// frames holds the real bytes of every local page of this stripe:
 	// resident pages plus prefetched pages parked in the cache and in
@@ -69,6 +76,12 @@ type shard struct {
 	cFaults       *int64
 	cResidentHits *int64
 	cDemandWaits  *int64
+
+	// nEvictions counts residency evictions reaching evictResident;
+	// nWritebacks counts page images actually pushed to the host (eviction
+	// or compressed-tier overflow). Recording-gated, read under mu.
+	nEvictions  int64
+	nWritebacks int64
 }
 
 // shardFor routes a page to its owning stripe. Negative pages land on an
@@ -111,28 +124,73 @@ func (s *shard) cacheEvicted(page core.PageID) {
 	}
 }
 
-// evictResident is the engine's residency-eviction hook: the victim's bytes
-// are written back to the remote host if dirty (through the async ticket
-// engine, behind the bounded dirty backlog), and its frame is released
-// unless the page cache still references the page. The async engine copies
-// the bytes on enqueue, so the frame can be recycled immediately.
-func (s *shard) evictResident(page core.PageID) {
+// evictResident is the engine's residency-eviction hook. With a compressed
+// tier attached, a victim whose image is worth keeping — dirty, or clean
+// with a remote copy a later fault would otherwise fetch — is sealed into
+// the stripe's pool instead of traveling: the hook returns false so the
+// engine skips the modeled writeback (no bytes moved), and the pool's own
+// overflow handles any eventual real writeback. Without a tier (or when the
+// page cache still references the page, which owns the bytes then) the
+// legacy path runs: dirty bytes go to the remote host through the async
+// ticket engine behind the bounded dirty backlog, and the hook returns true
+// so the engine prices the writeback. The async engine copies bytes on
+// enqueue, so frames recycle immediately. A clean page that was never
+// written is dropped either way — it re-materializes as zeros for free.
+func (s *shard) evictResident(page core.PageID) bool {
 	f, ok := s.frames.Get(page)
 	if !ok {
-		return
+		return true
 	}
 	m := s.m
+	if s.eng.Recording() {
+		s.nEvictions++
+	}
+	cached := s.eng.Cache().Contains(page)
+	if s.ztier != nil && !cached && (f.dirty || s.written.Contains(page)) {
+		s.ztier.Put(page, f.data, f.dirty)
+		f.dirty = false
+		s.frames.Delete(page)
+		s.freeFrame(f)
+		return false
+	}
 	if f.dirty {
 		s.written.Put(page, struct{}{})
 		m.host.WritePageAsync(page, f.data)
 		f.dirty = false
+		if s.eng.Recording() {
+			s.nWritebacks++
+		}
 		if m.host.PendingWrites() >= m.qdepth {
 			m.latchWriteback(m.host.Flush())
 		}
 	}
-	if !s.eng.Cache().Contains(page) {
+	if !cached {
 		s.frames.Delete(page)
 		s.freeFrame(f)
+	}
+	return true
+}
+
+// ztierEvicted is the compressed pool's overflow callback: a sealed page
+// pushed out by the byte budget. A dirty victim carries the only fresh copy
+// of its bytes, so it goes to the host through the async ticket engine —
+// exactly the write an uncompressed eviction would have issued — and is
+// priced on the modeled device, which an absorbed seal skipped. Clean
+// victims just vanish: their remote image is current. Runs under the shard
+// lock, synchronously inside Pool.Put.
+func (s *shard) ztierEvicted(page core.PageID, raw []byte, dirty bool) {
+	if !dirty {
+		return
+	}
+	m := s.m
+	s.written.Put(page, struct{}{})
+	m.host.WritePageAsync(page, raw)
+	if s.eng.Recording() {
+		s.nWritebacks++
+	}
+	s.eng.QueueWriteback(0, page, m.clock.Now())
+	if m.host.PendingWrites() >= m.qdepth {
+		m.latchWriteback(m.host.Flush())
 	}
 }
 
@@ -309,6 +367,25 @@ func (s *shard) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
 			zeroFrame(f)
 		}
 		s.frames.Put(pg, f)
+	} else if s.eng.LastFaultZtier {
+		// The fault landed in the compressed tier: unseal into a fresh
+		// frame. Take is exclusive — the entry leaves the pool (zswap's
+		// load semantics), so the budget never double-charges a page on
+		// its way back to residency — and the dirty mark survives, so a
+		// sealed dirty page writes back (or reseals) on its next eviction:
+		// read-your-writes holds across evict→seal→fault cycles.
+		f := s.newFrame()
+		raw, dirty, ok := s.ztier.Take(pg, f.data[:0])
+		if !ok || len(raw) != remote.PageSize {
+			// Unreachable by construction: the engine consulted the pool
+			// under this shard's lock, and seals are whole pages.
+			s.freeFrame(f)
+			s.faulting.Delete(pg)
+			m.clock.Advance(latency)
+			return nil, fmt.Errorf("leap: page %d lost its compressed image", pg)
+		}
+		f.dirty = dirty
+		s.frames.Put(pg, f)
 	}
 	m.clock.Advance(latency)
 	now = m.clock.Now()
@@ -325,17 +402,26 @@ func (s *shard) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
 
 // CheckShardInvariants verifies the single-owner contract of the sharded
 // fault path over every page in [0, span): a page may appear in a shard's
-// residency set, page cache, frame table, written set, faulting set or
-// single-flight demand table only if that shard owns the page's stripe —
-// which implies no page is resident (or cached, or in flight) in two shards
-// at once. It is a test hook: call it only while no operations are in
-// flight. The first violation found is returned; nil means the invariant
-// holds across the span.
+// residency set, page cache, frame table, written set, faulting set,
+// single-flight demand table or compressed tier only if that shard owns the
+// page's stripe — which implies no page is resident (or cached, or sealed)
+// in two shards at once. Within the owning stripe it additionally verifies
+// exclusivity between the compressed tier and the live fault path: a sealed
+// page must not simultaneously be resident, cached or hold a frame (Take is
+// exclusive, seal happens only after the frame is dropped). It is a test
+// hook: call it only while no operations are in flight. The first violation
+// found is returned; nil means the invariants hold across the span.
 func (m *Memory) CheckShardInvariants(span core.PageID) error {
 	for _, s := range m.shards {
 		s.mu.Lock()
 		for pg := core.PageID(0); pg < span; pg++ {
 			if m.shardFor(pg) == s {
+				if s.ztier != nil && s.ztier.Contains(pg) &&
+					(s.res.Contains(pg) || s.eng.Cache().Contains(pg) || s.frames.Contains(pg)) {
+					s.mu.Unlock()
+					return fmt.Errorf("leap: page %d is sealed in shard %d's compressed tier while also live in its fault path",
+						pg, s.idx)
+				}
 				continue
 			}
 			var where string
@@ -352,6 +438,8 @@ func (m *Memory) CheckShardInvariants(span core.PageID) error {
 				where = "faulting set"
 			case s.demand.Contains(pg):
 				where = "demand table"
+			case s.ztier != nil && s.ztier.Contains(pg):
+				where = "compressed tier"
 			default:
 				continue
 			}

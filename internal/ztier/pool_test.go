@@ -1,0 +1,138 @@
+package ztier
+
+import (
+	"bytes"
+	"testing"
+
+	"leap/internal/core"
+)
+
+func TestPoolSealTake(t *testing.T) {
+	p := NewPool(1<<20, 4096)
+	a, b := semiPage(1), semiPage(2)
+	p.Put(1, a, false)
+	p.Put(2, b, true)
+	if !p.Contains(1) || !p.Contains(2) || p.Len() != 2 {
+		t.Fatalf("pool holds %d pages, want 2", p.Len())
+	}
+	got, dirty, ok := p.Take(2, nil)
+	if !ok || !dirty || !bytes.Equal(got, b) {
+		t.Fatalf("Take(2) = ok=%v dirty=%v, bytes match %v", ok, dirty, bytes.Equal(got, b))
+	}
+	if p.Contains(2) {
+		t.Fatal("Take is exclusive; page 2 still sealed")
+	}
+	got, dirty, ok = p.Take(1, nil)
+	if !ok || dirty || !bytes.Equal(got, a) {
+		t.Fatal("Take(1) lost the clean page")
+	}
+	if _, _, ok := p.Take(1, nil); ok {
+		t.Fatal("double Take succeeded")
+	}
+	if p.UsedBytes() != 0 || p.Len() != 0 {
+		t.Fatalf("drained pool charges %dB over %d pages", p.UsedBytes(), p.Len())
+	}
+}
+
+func TestPoolReplace(t *testing.T) {
+	p := NewPool(1<<20, 4096)
+	p.Put(7, semiPage(1), false)
+	used1 := p.UsedBytes()
+	p.Put(7, semiPage(2), true)
+	if p.Len() != 1 {
+		t.Fatalf("replace left %d entries", p.Len())
+	}
+	got, dirty, ok := p.Take(7, nil)
+	if !ok || !dirty || !bytes.Equal(got, semiPage(2)) {
+		t.Fatal("replace kept the stale image")
+	}
+	if used1 <= 0 {
+		t.Fatal("no budget charged")
+	}
+}
+
+// TestPoolOverflowLRU drives the pool past its budget and checks that
+// victims leave in LRU order, dirty victims carry their decompressed
+// bytes, and the budget invariant holds after every insert.
+func TestPoolOverflowLRU(t *testing.T) {
+	// Room for roughly 3 incompressible pages.
+	p := NewPool(3*(4096+1+entryOverhead), 4096)
+	type evicted struct {
+		page  core.PageID
+		dirty bool
+		raw   []byte
+	}
+	var out []evicted
+	p.OnEvict = func(pg core.PageID, raw []byte, dirty bool) {
+		out = append(out, evicted{pg, dirty, append([]byte(nil), raw...)})
+	}
+	pages := map[core.PageID][]byte{}
+	for i := core.PageID(0); i < 6; i++ {
+		img := make([]byte, 4096)
+		lcgFill(img, uint64(i)+1) // incompressible: stored blocks, predictable cost
+		pages[i] = img
+		p.Put(i, img, i%2 == 0) // even pages dirty
+		if p.UsedBytes() > p.Budget() {
+			t.Fatalf("after insert %d: used %d > budget %d", i, p.UsedBytes(), p.Budget())
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d overflow evictions, want 3", len(out))
+	}
+	for i, ev := range out {
+		if ev.page != core.PageID(i) {
+			t.Fatalf("eviction %d was page %d, want LRU order", i, ev.page)
+		}
+		if wantDirty := ev.page%2 == 0; ev.dirty != wantDirty {
+			t.Fatalf("page %d dirty=%v, want %v", ev.page, ev.dirty, wantDirty)
+		}
+		if ev.dirty && !bytes.Equal(ev.raw, pages[ev.page]) {
+			t.Fatalf("dirty victim %d lost its bytes", ev.page)
+		}
+		if !ev.dirty && ev.raw != nil {
+			t.Fatalf("clean victim %d carried bytes", ev.page)
+		}
+	}
+	st := p.Stats()
+	if st.OverflowEvictions != 3 || st.OverflowDirty != 2 || st.Seals != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestPoolTakeRefreshesLRU: taking a page must not disturb the remaining
+// LRU order, and a page sealed twice sits at MRU.
+func TestPoolResealMovesToFront(t *testing.T) {
+	p := NewPool(2*(4096+1+entryOverhead), 4096)
+	var out []core.PageID
+	p.OnEvict = func(pg core.PageID, _ []byte, _ bool) { out = append(out, pg) }
+	imgA, imgB, imgC := make([]byte, 4096), make([]byte, 4096), make([]byte, 4096)
+	lcgFill(imgA, 1)
+	lcgFill(imgB, 2)
+	lcgFill(imgC, 3)
+	p.Put(1, imgA, false)
+	p.Put(2, imgB, false)
+	p.Put(1, imgA, false) // reseal: page 1 becomes MRU
+	p.Put(3, imgC, false) // overflow must evict page 2, the LRU
+	if len(out) != 1 || out[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", out)
+	}
+}
+
+// TestPoolZeroAllocSteadyState pins the hit path: once the free lists are
+// warm, a Take+Put cycle allocates nothing.
+func TestPoolZeroAllocSteadyState(t *testing.T) {
+	p := NewPool(1<<20, 4096)
+	img := semiPage(9)
+	p.Put(1, img, true)
+	dst := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		got, _, ok := p.Take(1, dst[:0])
+		if !ok || len(got) != 4096 {
+			t.Fatal("take failed")
+		}
+		p.Put(1, got, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Take+Put allocated %.1f times/op", allocs)
+	}
+}

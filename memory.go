@@ -158,3 +158,30 @@ func WithControlInterval(d Duration) Option { return runtime.WithControlInterval
 // runtime clock. Incompatible with WithRemoteHost — a supplied host
 // carries its own policy via RemoteHostConfig.Retry.
 func WithRetryPolicy(p RemoteRetryPolicy) Option { return runtime.WithRetryPolicy(p) }
+
+// MemoryZtierStats is the Stats.Ztier block: occupancy, hit/seal/overflow
+// counts and the realized compression ratio of the compressed victim tier.
+type MemoryZtierStats = runtime.ZtierStats
+
+// WithCompressedTier inserts a zswap-style compressed victim tier between
+// the residency LRU and the remote host, budgeted in bytes (split evenly
+// across shards). Evicted dirty pages are sealed — compressed in local
+// memory — instead of written back; a fault on a sealed page decompresses
+// it locally at WithDecompressLatency cost instead of paying a fabric
+// round trip. When the tier overflows, the coldest sealed pages are
+// written back through the async engine. bytes <= 0 disables the tier
+// (the default), which is bit-identical to the legacy runtime.
+func WithCompressedTier(bytes int64) Option { return runtime.WithCompressedTier(bytes) }
+
+// WithWireCompression ships the private cluster's batched doorbell frames
+// with page images compressed end-to-end (deterministic block codec,
+// stored-block fallback for incompressible pages). The savings surface in
+// Stats.Host.WireRawBytes / WireCompressedBytes; simulated timings are
+// unchanged. Incompatible with WithRemoteHost — set
+// RemoteHostConfig.Compress on the supplied host instead.
+func WithWireCompression(on bool) Option { return runtime.WithWireCompression(on) }
+
+// WithDecompressLatency sets the virtual-time charge for decompressing a
+// sealed page on a compressed-tier hit (default
+// runtime.DefaultDecompressLatency). Non-positive keeps the default.
+func WithDecompressLatency(d Duration) Option { return runtime.WithDecompressLatency(d) }

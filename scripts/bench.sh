@@ -16,7 +16,7 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -benchmem -count 1 -benchtime 2s \
-  -bench 'BenchmarkSimulatorThroughput|BenchmarkPredictorFaultPath|BenchmarkFindTrend|BenchmarkMajorityVote|BenchmarkPrefetcherComparison|BenchmarkMemoryGetHit|BenchmarkMemoryConcurrentGet' \
+  -bench 'BenchmarkSimulatorThroughput|BenchmarkPredictorFaultPath|BenchmarkFindTrend|BenchmarkMajorityVote|BenchmarkPrefetcherComparison|BenchmarkMemoryGetHit|BenchmarkMemoryConcurrentGet|BenchmarkMemoryGetZtierHit' \
   . | tee "$TMP"
 
 go test -run '^$' -benchmem -count 1 -benchtime 1x \
