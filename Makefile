@@ -7,7 +7,7 @@ DOCS = README.md DESIGN.md EXPERIMENTS.md PAPER_MAP.md \
        examples/multitenant/README.md examples/kvcache/README.md \
        examples/graphanalytics/README.md
 
-.PHONY: all build vet test bench bench-check bench-check-recorded smoke runtime-smoke concurrency-smoke shard-smoke elastic-smoke selfheal-smoke ztier-smoke figures docs-check links-check
+.PHONY: all build vet test bench bench-check bench-check-recorded smoke runtime-smoke concurrency-smoke shard-smoke elastic-smoke selfheal-smoke ztier-smoke ensemble-smoke figures docs-check links-check
 
 all: vet build test docs-check links-check
 
@@ -104,6 +104,18 @@ ztier-smoke:
 	diff /tmp/leap_ztier_a.txt /tmp/leap_ztier_b.txt
 	$(GO) test -race -run 'TestMemoryZtier|TestMemoryWireCompression' .
 	$(GO) test -race ./internal/ztier
+
+# Ensemble smoke: the online-selector ablation figure must be byte-identical
+# across two runs (every epoch score, switch decision and shadow-set replay
+# is deterministic from the seed), and the selector must survive the
+# race-enabled stress suite, the one-arm parity oracle and the seeded
+# advise/read-your-writes property.
+ensemble-smoke:
+	$(GO) run ./cmd/leapbench -scale small -fig ensemble | grep -v 'done in' > /tmp/leap_ensemble_a.txt
+	$(GO) run ./cmd/leapbench -scale small -fig ensemble | grep -v 'done in' > /tmp/leap_ensemble_b.txt
+	diff /tmp/leap_ensemble_a.txt /tmp/leap_ensemble_b.txt
+	$(GO) test -race -run 'TestMemoryEnsemble|TestEnsembleOneArmMatchesFixed|TestMemoryAdvise' .
+	$(GO) test -race -run 'TestEnsemble|TestShadowSet' ./internal/prefetch
 
 # Regenerate every figure and table at full scale.
 figures:

@@ -16,6 +16,7 @@
 //	leapbench -fig elastic     # self-healing cluster vs static under a ramp
 //	leapbench -fig runtime     # end-to-end leap.Memory over a live cluster
 //	leapbench -fig selfheal    # runtime under mid-run agent faults, plane on/off
+//	leapbench -fig ensemble    # online per-client prefetcher selection ablation
 //	leapbench -fig ablations   # the DESIGN.md ablation sweeps
 //	leapbench -scale small     # quick pass (test-sized runs)
 //	leapbench -parallel 1      # sequential (same output, more wall time)
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figures to run: comma-separated subset of 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,resilience,scaling,elastic,runtime,selfheal,ablations, or all (see -list)")
+	fig := flag.String("fig", "all", "figures to run: comma-separated subset of 1,2,3,4,table1,7,8a,8b,9,10,11,12,13,resilience,scaling,elastic,runtime,selfheal,ztier,ensemble,ablations, or all (see -list)")
 	scaleName := flag.String("scale", "full", "run scale: full or small")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max figures running concurrently (1 = sequential)")

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"leap/internal/metrics"
+	"leap/internal/prefetch"
+	"leap/internal/remote"
+	"leap/internal/runtime"
+	"leap/internal/workload"
+)
+
+// ensembleApps are the application models the selector ablation drives, in
+// presentation order — the same four the compressed-tier figure uses.
+var ensembleApps = []string{"powergraph", "numpy", "voltdb", "memcached"}
+
+// EnsemblePolicies are the columns of the ablation: the online selector
+// first, then every fixed arm it chooses between, in presentation order.
+var EnsemblePolicies = []string{"ensemble", "leap", "ghb", "stride", "readahead", "nextnline"}
+
+// ensembleFramePages is every cell's residency budget: identical across
+// policies, so the prefetching policy is the only variable.
+const ensembleFramePages = 1024
+
+// EnsembleCell is one (app, policy) outcome over the live runtime.
+type EnsembleCell struct {
+	HitRatio           float64
+	Accuracy, Coverage float64
+	Latency            metrics.Summary
+	// Switches counts arm changes the selector took during the measured
+	// window; Final is the arm routing the driving client's prefetches at
+	// the end of the run. Both are zero-valued ("-") for fixed policies.
+	Switches int64
+	Final    string
+}
+
+// EnsembleResult is the selector ablation: each application runs once per
+// policy at equal RAM and an identical access stream, the online ensemble
+// against every fixed arm it selects among.
+type EnsembleResult struct {
+	// Cells keyed "<app>/<policy>".
+	Cells map[string]EnsembleCell
+	// Accesses measured per cell and Warmup accesses driven (recording
+	// off) before measurement, for the caption.
+	Accesses, Warmup int64
+}
+
+// Cell fetches one entry.
+func (r EnsembleResult) Cell(app, policy string) (EnsembleCell, bool) {
+	c, ok := r.Cells[app+"/"+policy]
+	return c, ok
+}
+
+// Ensemble drives leap.Memory through the application models under the
+// online per-client selector and under each fixed arm. Every policy in an
+// app's row shares the cell seed, so the populate pass, the warmup stream
+// and the measured stream are identical access-for-access — the policy is
+// the only variable. The warmup (recording off, like the simulator's) is
+// what gives the selector its convergence window: a deployed ensemble is
+// judged on steady state, not on the epochs it spends learning.
+func Ensemble(s Scale, seed uint64) EnsembleResult {
+	accesses := s.Measured / 2
+	if accesses < 2000 {
+		accesses = 2000
+	}
+	warmup := accesses
+	out := EnsembleResult{Cells: map[string]EnsembleCell{}, Accesses: accesses, Warmup: warmup}
+	for ai, app := range ensembleApps {
+		p, ok := workload.ByName(app)
+		if !ok {
+			panic("unknown app " + app)
+		}
+		// The paper's 50%-memory regime: shrink the working set so the
+		// frame budget is a meaningful fraction of it (see Ztier).
+		p.TotalPages /= 8
+		cellSeed := seed + uint64(ai)*977
+		for _, policy := range EnsemblePolicies {
+			out.Cells[app+"/"+policy] = ensembleCell(p, policy, accesses, warmup, cellSeed)
+		}
+	}
+	return out
+}
+
+// ensembleCell runs one (app, policy) configuration.
+func ensembleCell(p workload.Profile, policy string, accesses, warmup int64, seed uint64) EnsembleCell {
+	opts := []runtime.Option{
+		runtime.WithSeed(seed),
+		runtime.WithQueueDepth(8),
+		runtime.WithCacheCapacity(ensembleFramePages),
+	}
+	if policy == "ensemble" {
+		opts = append(opts, runtime.WithEnsemble(prefetch.EnsembleConfig{}))
+	} else {
+		opts = append(opts, runtime.WithPrefetcherFactory(func() prefetch.Prefetcher {
+			pf, err := prefetch.New(policy)
+			if err != nil {
+				panic(err)
+			}
+			return pf
+		}))
+	}
+	mem, err := runtime.Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	defer mem.Close()
+
+	// Populate the hot region (recording off) so misses fetch real images
+	// from the cluster rather than materializing zeros.
+	mem.SetRecording(false)
+	hot := int64(float64(p.TotalPages) * p.HotFraction)
+	populate := min(hot, 3*int64(ensembleFramePages))
+	buf := make([]byte, remote.PageSize)
+	for pg := int64(0); pg < populate; pg++ {
+		buf[0] = byte(pg)
+		if _, err := mem.WriteAt(buf, pg*remote.PageSize); err != nil {
+			panic(err)
+		}
+	}
+
+	// Warmup: the same generator that will be measured drives unrecorded
+	// accesses first — fixed arms adapt their windows, the selector runs
+	// its epochs and converges.
+	gen := workload.NewApp(p, seed)
+	client := mem.Client(0)
+	for i := int64(0); i < warmup; i++ {
+		if _, err := client.Get(gen.Next().Page); err != nil {
+			panic(err)
+		}
+	}
+	mem.SetRecording(true)
+	sw0 := mem.Stats().Ensemble.Switches
+
+	for i := int64(0); i < accesses; i++ {
+		if _, err := client.Get(gen.Next().Page); err != nil {
+			panic(err)
+		}
+	}
+	st := mem.Stats()
+	cell := EnsembleCell{
+		HitRatio: st.HitRatio,
+		Accuracy: st.Accuracy,
+		Coverage: st.Coverage,
+		Latency:  st.Latency,
+		Final:    "-",
+	}
+	if policy == "ensemble" {
+		cell.Switches = st.Ensemble.Switches - sw0
+		if h := client.SelectionHistory(); len(h) > 0 {
+			cell.Final = h[len(h)-1].Arm
+		}
+	}
+	return cell
+}
+
+// String renders the selector ablation table.
+func (r EnsembleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ensemble — online per-client prefetcher selection vs fixed policies (%d accesses/cell after %d warmup, %d-page budget)\n",
+		r.Accesses, r.Warmup, ensembleFramePages)
+	fmt.Fprintf(&b, "  %-12s %-10s %9s %9s %9s %11s %11s %9s %-10s\n",
+		"app", "policy", "hit", "accuracy", "coverage", "p50", "p99", "switches", "final")
+	for _, app := range ensembleApps {
+		for _, policy := range EnsemblePolicies {
+			c := r.Cells[app+"/"+policy]
+			sw := "-"
+			if policy == "ensemble" {
+				sw = fmt.Sprint(c.Switches)
+			}
+			fmt.Fprintf(&b, "  %-12s %-10s %8.1f%% %8.1f%% %8.1f%% %11v %11v %9s %-10s\n",
+				app, policy, 100*c.HitRatio, 100*c.Accuracy, 100*c.Coverage,
+				c.Latency.P50, c.Latency.P99, sw, c.Final)
+		}
+	}
+	b.WriteString("  (equal RAM and identical access streams per app row; the policy is the only variable)\n")
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestEnsembleDeterministic is the acceptance gate for `leapbench -fig
+// ensemble`: byte-identical output for the same seed across repeated runs
+// and across -parallel settings. The figure runs the online selector's full
+// epoch/hysteresis machinery per cell, so this also pins the selector's
+// determinism end to end.
+func TestEnsembleDeterministic(t *testing.T) {
+	a, ok := RunFigure("ensemble", Small, 42)
+	if !ok {
+		t.Fatal("ensemble figure not registered")
+	}
+	b, _ := RunFigure("ensemble", Small, 42)
+	if a.Output != b.Output {
+		t.Fatalf("same-seed ensemble runs diverged:\n%s\n---\n%s", a.Output, b.Output)
+	}
+	names := []string{"ensemble", "1"}
+	seq := RunAll(names, Small, 42, 1)
+	par := RunAll(names, Small, 42, 4)
+	for i := range names {
+		if StripMeasured(seq[i].Output) != StripMeasured(par[i].Output) {
+			t.Fatalf("figure %s: parallel output differs from sequential", names[i])
+		}
+	}
+	if seq[0].Output != a.Output {
+		t.Fatal("runner output differs from direct RunFigure output")
+	}
+}
+
+// ensembleGateTolerance is the hit-ratio slack the selector is allowed
+// against the best fixed policy: convergence noise, worth a handful of
+// accesses per cell. A wrong selection costs whole percentage points (e.g.
+// next-N-line on memcached gives up ~8 points), so the bound still has
+// teeth — the tolerance is an order of magnitude below any real
+// mis-selection.
+const ensembleGateTolerance = 0.002
+
+// TestEnsembleBeatsFixedPolicies pins the headline acceptance criterion: on
+// every application workload the online selector's hit ratio reaches the
+// best fixed policy (within convergence tolerance), clearly beats the mean
+// of the zoo, and leaves the worst arm far behind — picking one fixed
+// policy for all apps is strictly dominated.
+func TestEnsembleBeatsFixedPolicies(t *testing.T) {
+	r := Ensemble(Small, 42)
+	for _, app := range ensembleApps {
+		ens, ok := r.Cell(app, "ensemble")
+		if !ok {
+			t.Fatalf("missing ensemble cell for %s", app)
+		}
+		best, worst, sum := -1.0, 2.0, 0.0
+		bestName := ""
+		for _, policy := range EnsemblePolicies[1:] {
+			c, ok := r.Cell(app, policy)
+			if !ok {
+				t.Fatalf("missing %s cell for %s", policy, app)
+			}
+			if c.Switches != 0 || c.Final != "-" {
+				t.Fatalf("%s/%s: fixed policy reports selector activity: %+v", app, policy, c)
+			}
+			if c.HitRatio > best {
+				best, bestName = c.HitRatio, policy
+			}
+			if c.HitRatio < worst {
+				worst = c.HitRatio
+			}
+			sum += c.HitRatio
+		}
+		mean := sum / float64(len(EnsemblePolicies)-1)
+		if ens.HitRatio+ensembleGateTolerance < best {
+			t.Errorf("%s: ensemble hit %.4f below best fixed %.4f (%s) beyond tolerance",
+				app, ens.HitRatio, best, bestName)
+		}
+		if ens.HitRatio <= mean {
+			t.Errorf("%s: ensemble hit %.4f does not beat the zoo mean %.4f", app, ens.HitRatio, mean)
+		}
+		if ens.HitRatio <= worst {
+			t.Errorf("%s: ensemble hit %.4f does not beat the worst arm %.4f", app, ens.HitRatio, worst)
+		}
+		if ens.Final == "-" || ens.Final == "" {
+			t.Errorf("%s: ensemble cell reports no final selection", app)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full table:\n%s", Ensemble(Small, 42))
+	}
+}

@@ -66,6 +66,8 @@ var figureRegistry = []figureRunner{
 		func(s Scale, seed uint64) string { return fmt.Sprint(Concurrency(s, seed)) }},
 	{"ztier", "compressed victim tier: hit ratio, hit latency and compression ratio at equal RAM",
 		func(s Scale, seed uint64) string { return fmt.Sprint(Ztier(s, seed)) }},
+	{"ensemble", "online per-client prefetcher selection vs every fixed policy, per application",
+		func(s Scale, seed uint64) string { return fmt.Sprint(Ensemble(s, seed)) }},
 	{"ablations", "design-choice sweeps: majority vote, windows, eviction, isolation",
 		func(s Scale, seed uint64) string {
 			parts := []string{

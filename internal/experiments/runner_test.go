@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestRunnerRegistryComplete(t *testing.T) {
-	want := []string{"1", "2", "3", "4", "table1", "7", "8a", "8b", "9", "10", "11", "12", "13", "resilience", "scaling", "elastic", "runtime", "selfheal", "concurrency", "ztier", "ablations"}
+	want := []string{"1", "2", "3", "4", "table1", "7", "8a", "8b", "9", "10", "11", "12", "13", "resilience", "scaling", "elastic", "runtime", "selfheal", "concurrency", "ztier", "ensemble", "ablations"}
 	got := Figures()
 	if len(got) != len(want) {
 		t.Fatalf("Figures() = %v, want %v", got, want)

@@ -75,6 +75,7 @@ runtime     end-to-end leap.Memory: prefetchers over a live in-proc remote clust
 selfheal    leap.Memory under mid-run agent faults: unsupervised vs WithControlPlane
 concurrency multi-client leap.Memory: modeled throughput over goroutines × clients
 ztier       compressed victim tier: hit ratio, hit latency and compression ratio at equal RAM
+ensemble    online per-client prefetcher selection vs every fixed policy, per application
 ablations   design-choice sweeps: majority vote, windows, eviction, isolation
 `
 	if got := Describe(); got != want {

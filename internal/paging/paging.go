@@ -342,13 +342,62 @@ func (e *Engine[O]) Fault(pid prefetch.PID, cpu int, page core.PageID, now sim.T
 	return latency, miss
 }
 
+// Hint is an madvise-style access-pattern declaration threaded into the
+// fault path per access (see OnAccessHinted). HintNone is the zero value
+// and leaves candidate generation untouched.
+type Hint uint8
+
+// Hint values. Sequential replaces the predictor's window with a
+// straight-line one; Random suppresses issue entirely.
+const (
+	HintNone Hint = iota
+	HintSequential
+	HintRandom
+)
+
+// SequentialHintWindow is the straight-line window a HintSequential access
+// issues: the next N pages after the fault, clamped to the hinted range
+// (matches the paper's PW_size_max default of 8).
+const SequentialHintWindow = 8
+
 // OnAccess records the access with the prefetcher and, on a miss, collects
 // and issues the prefetch window. The prefetcher sees every swap-in (§4.1:
 // cache look-ups are monitored, resident pages are not); candidate
 // generation sits on the miss path like swapin_readahead.
 func (e *Engine[O]) OnAccess(o O, res *Resident, pid prefetch.PID, cpu int, page core.PageID, miss bool, now sim.Time) {
+	e.OnAccessHinted(o, res, pid, cpu, page, miss, now, HintNone, 0)
+}
+
+// OnAccessHinted is OnAccess carrying an madvise-style hint for this
+// access. The prefetcher always records the access — hints steer issue,
+// not learning — but the candidates it returns are overridden per the
+// hint: HintSequential discards them for a straight-line window of up to
+// SequentialHintWindow pages after the fault, clamped below hintEnd
+// (exclusive); HintRandom discards them and issues nothing. HintNone is
+// byte-identical to OnAccess.
+func (e *Engine[O]) OnAccessHinted(o O, res *Resident, pid prefetch.PID, cpu int, page core.PageID, miss bool, now sim.Time, hint Hint, hintEnd core.PageID) {
 	e.candBuf = e.pf.OnAccess(pid, page, miss, e.candBuf[:0])
+	switch hint {
+	case HintRandom:
+		e.candBuf = e.candBuf[:0]
+	case HintSequential:
+		e.candBuf = e.candBuf[:0]
+		if miss {
+			for c := page + 1; c < hintEnd && c <= page+SequentialHintWindow; c++ {
+				e.candBuf = append(e.candBuf, c)
+			}
+		}
+	}
 	e.issuePrefetches(o, res, cpu, e.candBuf, now)
+}
+
+// Prefetch issues the given pages through the normal prefetch path — the
+// same dedup (resident, cached, in flight, blocked, sealed, foreign-stripe)
+// and the same device model as predictor-driven windows — without
+// consulting the prefetcher. It is the engine half of an madvise(WILLNEED):
+// the owner warms pages it knows it will touch. The slice is not retained.
+func (e *Engine[O]) Prefetch(o O, res *Resident, cpu int, pages []core.PageID, now sim.Time) {
+	e.issuePrefetches(o, res, cpu, pages, now)
 }
 
 // issuePrefetches fetches candidate pages into the cache asynchronously.

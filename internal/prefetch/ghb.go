@@ -16,7 +16,15 @@ package prefetch
 // O(1)-space majority vote, and in the kernel's PC-less setting its keys
 // alias heavily across phases and processes.
 type GHB struct {
-	depth int // prediction depth per miss
+	maxDepth int // configured prediction-depth ceiling
+	depth    int // current adaptive prediction depth per miss
+
+	// outstanding counts predictions issued since the last depth
+	// adaptation; hits holds per-client consumed-prefetch feedback. Depth
+	// only adapts once a window is actually out (outstanding > 0), so a
+	// cold buffer neither grows nor decays.
+	outstanding int
+	hits        map[PID]int
 
 	buf  []int64 // circular delta history
 	link []int   // per-entry pointer to the previous occurrence of its key
@@ -46,16 +54,20 @@ type ghbRef struct {
 }
 
 // NewGHB returns a GHB prefetcher predicting up to depth pages per miss.
+// The replay depth adapts between 1 and depth on per-client prefetch-hit
+// feedback: a consumed window doubles it, an unconsumed one halves it.
 func NewGHB(depth int) *GHB {
 	if depth < 1 {
 		depth = 1
 	}
 	return &GHB{
-		depth: depth,
-		buf:   make([]int64, ghbBufferSize),
-		link:  make([]int, ghbBufferSize),
-		gen:   make([]int64, ghbBufferSize),
-		index: make(map[[2]int64]ghbRef),
+		maxDepth: depth,
+		depth:    depth,
+		hits:     make(map[PID]int),
+		buf:      make([]int64, ghbBufferSize),
+		link:     make([]int, ghbBufferSize),
+		gen:      make([]int64, ghbBufferSize),
+		index:    make(map[[2]int64]ghbRef),
 	}
 }
 
@@ -82,7 +94,7 @@ func (p *GHB) live(ref ghbRef) bool {
 }
 
 // OnAccess implements Prefetcher.
-func (p *GHB) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
+func (p *GHB) OnAccess(pid PID, page PageID, miss bool, dst []PageID) []PageID {
 	if !p.hasLast {
 		p.lastAddr, p.hasLast = page, true
 		return dst
@@ -114,6 +126,23 @@ func (p *GHB) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
 		return dst
 	}
 
+	// Adapt the replay depth to the faulting client's feedback on the last
+	// issued window: consumed doubles, ignored halves. Only adapts when a
+	// window is actually outstanding, so teaching a cold buffer leaves the
+	// depth untouched.
+	if p.outstanding > 0 {
+		if p.hits[pid] > 0 {
+			p.depth *= 2
+			if p.depth > p.maxDepth {
+				p.depth = p.maxDepth
+			}
+		} else if p.depth > 1 {
+			p.depth /= 2
+		}
+		p.hits[pid] = 0
+		p.outstanding = 0
+	}
+
 	// Walk the occurrence chain (newest first) until one has forward room
 	// to replay from — for pure strides the most recent occurrence is
 	// adjacent to the present and yields nothing; an older one does.
@@ -133,6 +162,7 @@ func (p *GHB) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
 			walk = (walk + 1) % len(p.buf)
 		}
 		if len(dst) > before {
+			p.outstanding += len(dst) - before
 			return dst
 		}
 		next := p.link[cand]
@@ -144,10 +174,12 @@ func (p *GHB) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
 	return dst
 }
 
-// OnPrefetchHit implements Prefetcher: classic GHB has no hit feedback.
-func (p *GHB) OnPrefetchHit(PID) {}
+// OnPrefetchHit implements Prefetcher: classic GHB has no hit feedback,
+// but the paging setting supplies it for free, and without it the replay
+// depth cannot adapt. Credit goes to the consuming client.
+func (p *GHB) OnPrefetchHit(pid PID) { p.hits[pid]++ }
 
 // Reset implements Prefetcher.
 func (p *GHB) Reset() {
-	*p = *NewGHB(p.depth)
+	*p = *NewGHB(p.maxDepth)
 }

@@ -25,6 +25,9 @@ func TestGHBReplaysRecurringSequence(t *testing.T) {
 		for _, d := range deltas {
 			page += PageID(d)
 			p.OnAccess(1, page, true, nil)
+			// Replayed windows get consumed during teaching, so the
+			// adaptive depth holds instead of decaying.
+			p.OnPrefetchHit(1)
 		}
 	}
 	// Start the sequence once more: after the (+3, +5) pair recurs, the

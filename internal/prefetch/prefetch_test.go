@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistry(t *testing.T) {
-	want := []string{"ghb", "leap", "nextnline", "none", "readahead", "stride"}
+	want := []string{"ensemble", "ghb", "leap", "nextnline", "none", "readahead", "stride"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -121,6 +121,55 @@ func TestStrideDepthAdapts(t *testing.T) {
 	n4 := len(p.OnAccess(1, 50, true, nil))
 	if n4 > n3 {
 		t.Fatalf("depth grew without hits: %d -> %d", n3, n4)
+	}
+}
+
+func TestStrideHitBetweenMissesKeepsStride(t *testing.T) {
+	// Regression: a prefetch-cache hit between two misses must not redefine
+	// the stride. Before the fix, the hit at 15 rewrote lastAddr, so the
+	// next miss at 20 extrapolated a bogus stride of 5 and predicted 25.
+	p := NewStride(8)
+	p.OnAccess(1, 0, true, nil)
+	p.OnAccess(1, 10, true, nil)  // stride 10 established
+	p.OnAccess(1, 15, false, nil) // hit: feedback only, not a stride sample
+	got := p.OnAccess(1, 20, true, nil)
+	if len(got) == 0 || got[0] != 30 {
+		t.Fatalf("predicted %v after a hit between misses, want [30 ...]", got)
+	}
+}
+
+func TestStrideHitAttributionPerClient(t *testing.T) {
+	// Regression: before PID-keyed hit feedback, client 1's consumed window
+	// doubled the depth client 2's fault saw.
+	p := NewStride(8)
+	p.OnAccess(1, 0, true, nil)
+	p.OnAccess(1, 10, true, nil)
+	p.OnPrefetchHit(1) // client 1 consumed its window
+	if n := len(p.OnAccess(2, 20, true, nil)); n != 1 {
+		t.Fatalf("client 2 issued %d pages on client 1's credit, want 1", n)
+	}
+	if n := len(p.OnAccess(1, 30, true, nil)); n != 2 {
+		t.Fatalf("client 1's own credit yielded depth %d, want 2", n)
+	}
+}
+
+func TestReadAheadHitAttributionPerClient(t *testing.T) {
+	// Regression: the window decision must consult the faulting client's
+	// own hits, not a global tally another tenant filled.
+	p := NewReadAhead(8)
+	for _, a := range []PageID{90000, 16, 55554, 320, 77776} {
+		p.OnAccess(1, a, true, nil) // decay the window to the minimum
+	}
+	p.OnPrefetchHit(1)
+	p.OnPrefetchHit(1) // client 1 banks two hits
+	p.OnAccess(2, 200, true, nil)
+	if n := len(p.OnAccess(2, 201, true, nil)); n != 1 {
+		t.Fatalf("client 2's sequential pair grew the window on client 1's hits: %d candidates, want 1", n)
+	}
+	p.OnAccess(1, 300, true, nil)
+	p.OnPrefetchHit(1)
+	if n := len(p.OnAccess(1, 301, true, nil)); n <= 1 {
+		t.Fatalf("client 1's own hit did not grow the window: %d candidates", n)
 	}
 }
 

@@ -10,14 +10,16 @@ package prefetch
 // cache-pollution critique (§2.3) and Figure 9a's high cache-add count.
 //
 // Like Linux, it observes the global fault stream: interleaved processes
-// both trigger and break its sequentiality test.
+// both trigger and break its sequentiality test. Hit feedback, however, is
+// attributed to the consuming client (per PID): one tenant's consumed
+// window must not double the window another tenant's fault sees.
 type ReadAhead struct {
 	maxWindow int
 
 	lastAddr PageID
 	hasLast  bool
 	window   int
-	hits     int
+	hits     map[PID]int
 }
 
 // NewReadAhead returns a read-ahead prefetcher with the given maximum
@@ -27,7 +29,7 @@ func NewReadAhead(maxWindow int) *ReadAhead {
 	if maxWindow < 2 {
 		maxWindow = 2
 	}
-	return &ReadAhead{maxWindow: maxWindow, window: maxWindow}
+	return &ReadAhead{maxWindow: maxWindow, window: maxWindow, hits: make(map[PID]int)}
 }
 
 // Name implements Prefetcher. The sequentiality test tracks every swap-in;
@@ -35,7 +37,7 @@ func NewReadAhead(maxWindow int) *ReadAhead {
 func (p *ReadAhead) Name() string { return "readahead" }
 
 // OnAccess implements Prefetcher.
-func (p *ReadAhead) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
+func (p *ReadAhead) OnAccess(pid PID, page PageID, miss bool, dst []PageID) []PageID {
 	sequential := p.hasLast && (page == p.lastAddr+1 || page == p.lastAddr)
 	p.lastAddr, p.hasLast = page, true
 	if !miss {
@@ -46,9 +48,10 @@ func (p *ReadAhead) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []Page
 	// two faults. A consecutive pair with hits doubles the window; a
 	// consecutive pair alone holds it; any non-consecutive pair halves it —
 	// so a single interruption (noise, another process, a stride) collapses
-	// the window even mid-scan.
+	// the window even mid-scan. The hits consulted are the faulting
+	// client's own.
 	switch {
-	case sequential && p.hits > 0:
+	case sequential && p.hits[pid] > 0:
 		p.window *= 2
 	case sequential:
 		// Hold.
@@ -61,7 +64,7 @@ func (p *ReadAhead) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []Page
 	if p.window < 2 {
 		p.window = 2 // the cluster read never fully stops
 	}
-	p.hits = 0
+	p.hits[pid] = 0
 
 	// Aligned block of `window` pages containing the faulted page.
 	start := page - page%PageID(p.window)
@@ -73,10 +76,11 @@ func (p *ReadAhead) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []Page
 	return dst
 }
 
-// OnPrefetchHit implements Prefetcher.
-func (p *ReadAhead) OnPrefetchHit(PID) { p.hits++ }
+// OnPrefetchHit implements Prefetcher: the consuming client gets the
+// credit, so interleaved tenants cannot grow each other's window.
+func (p *ReadAhead) OnPrefetchHit(pid PID) { p.hits[pid]++ }
 
 // Reset implements Prefetcher.
 func (p *ReadAhead) Reset() {
-	*p = ReadAhead{maxWindow: p.maxWindow, window: p.maxWindow}
+	*p = ReadAhead{maxWindow: p.maxWindow, window: p.maxWindow, hits: make(map[PID]int)}
 }

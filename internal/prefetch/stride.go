@@ -6,12 +6,15 @@ package prefetch
 // miss; the aggressiveness depends on the accuracy of the past prefetch."
 //
 // With no program counter visible to the swap path, the stride is the
-// delta between the last two faults of the global stream. That makes the
+// delta between the last two *misses* of the global stream — a hit between
+// two misses is feedback, not a new stride sample, so it must not redefine
+// the stride the next miss extrapolates from. That still makes the
 // predictor eager and error-prone on irregular streams — any two unrelated
-// faults define a "stride" — which is exactly why the paper's Figure 9/10
+// misses define a "stride" — which is exactly why the paper's Figure 9/10
 // show it with the worst pollution, coverage, and completion time. Depth
-// adapts to prefetch-hit feedback: it doubles when the previous window was
-// used and halves when it was not.
+// adapts to prefetch-hit feedback per client: it doubles when the faulting
+// client consumed the previous window and halves when it did not (the
+// depth itself stays global, like Linux's one swap path).
 type Stride struct {
 	maxDepth int
 
@@ -20,7 +23,7 @@ type Stride struct {
 	stride   int64
 
 	depth int
-	hits  int
+	hits  map[PID]int
 }
 
 // NewStride returns a stride prefetcher with the given maximum depth (the
@@ -29,15 +32,19 @@ func NewStride(maxDepth int) *Stride {
 	if maxDepth < 1 {
 		maxDepth = 1
 	}
-	return &Stride{maxDepth: maxDepth, depth: 1}
+	return &Stride{maxDepth: maxDepth, depth: 1, hits: make(map[PID]int)}
 }
 
 // Name implements Prefetcher.
 func (p *Stride) Name() string { return "stride" }
 
-// OnAccess implements Prefetcher. Stride state tracks every access; fetches
-// trigger on misses.
-func (p *Stride) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID {
+// OnAccess implements Prefetcher. Stride state advances only on misses: a
+// prefetch-cache hit between two misses feeds depth adaptation through
+// OnPrefetchHit but must not silently redefine the stride.
+func (p *Stride) OnAccess(pid PID, page PageID, miss bool, dst []PageID) []PageID {
+	if !miss {
+		return dst
+	}
 	if !p.hasLast {
 		p.lastAddr, p.hasLast = page, true
 		return dst
@@ -45,12 +52,12 @@ func (p *Stride) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID 
 	s := int64(page) - int64(p.lastAddr)
 	p.lastAddr = page
 	p.stride = s
-	if !miss || s == 0 {
+	if s == 0 {
 		return dst
 	}
 
-	// Adapt depth to feedback since the last issue.
-	if p.hits > 0 {
+	// Adapt depth to the faulting client's feedback since its last issue.
+	if p.hits[pid] > 0 {
 		p.depth *= 2
 		if p.depth > p.maxDepth {
 			p.depth = p.maxDepth
@@ -58,7 +65,7 @@ func (p *Stride) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID 
 	} else if p.depth > 1 {
 		p.depth /= 2
 	}
-	p.hits = 0
+	p.hits[pid] = 0
 
 	for k := 1; k <= p.depth; k++ {
 		c := page + PageID(int64(k)*p.stride)
@@ -70,10 +77,11 @@ func (p *Stride) OnAccess(_ PID, page PageID, miss bool, dst []PageID) []PageID 
 	return dst
 }
 
-// OnPrefetchHit implements Prefetcher.
-func (p *Stride) OnPrefetchHit(PID) { p.hits++ }
+// OnPrefetchHit implements Prefetcher: the consuming client gets the
+// credit, so interleaved tenants cannot grow each other's depth.
+func (p *Stride) OnPrefetchHit(pid PID) { p.hits[pid]++ }
 
 // Reset implements Prefetcher.
 func (p *Stride) Reset() {
-	*p = Stride{maxDepth: p.maxDepth, depth: 1}
+	*p = Stride{maxDepth: p.maxDepth, depth: 1, hits: make(map[PID]int)}
 }

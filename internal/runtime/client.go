@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+
 	"leap/internal/core"
 	"leap/internal/prefetch"
 	"leap/internal/remote"
@@ -62,17 +64,33 @@ func (c *Client) Get(pg core.PageID) ([]byte, error) {
 }
 
 // PredictorStats reports this client's predictor statistics, when the
-// Memory runs the Leap prefetcher (ok is false otherwise, or before the
-// client's first fault created a predictor). With WithShards beyond 1 each
-// stripe owns a separate predictor for this client; the counts are summed
-// across stripes (core.Stats fields are additive tallies).
+// Memory runs the Leap prefetcher — directly, or as an arm of the
+// WithEnsemble selector (the client's private "leap" arm is consulted
+// then). ok is false for other policies, or before the client's first
+// fault created a predictor. With WithShards beyond 1 each stripe owns a
+// separate predictor for this client; the counts are summed across stripes
+// (core.Stats fields are additive tallies).
 func (c *Client) PredictorStats() (st core.Stats, ok bool) {
 	for _, s := range c.m.shards {
+		s.mu.Lock()
 		lp, isLeap := s.eng.Prefetcher().(*prefetch.Leap)
 		if !isLeap {
-			return core.Stats{}, false
+			if s.ens == nil {
+				s.mu.Unlock()
+				return core.Stats{}, false
+			}
+			arm, found := s.ens.ClientArm(c.pid, "leap")
+			if !found {
+				// Client unseen on this stripe, or no leap arm configured.
+				s.mu.Unlock()
+				continue
+			}
+			lp, _ = arm.(*prefetch.Leap)
+			if lp == nil {
+				s.mu.Unlock()
+				continue
+			}
 		}
-		s.mu.Lock()
 		ps, found := lp.ProcessStats()[c.pid]
 		s.mu.Unlock()
 		if !found {
@@ -88,4 +106,114 @@ func (c *Client) PredictorStats() (st core.Stats, ok bool) {
 		st.WindowShrinks += ps.WindowShrinks
 	}
 	return st, ok
+}
+
+// Advice is an madvise-style access-pattern hint for Client.Advise.
+type Advice uint8
+
+const (
+	// AdviseNormal clears earlier hints on the range: the configured
+	// prefetching policy drives the range again.
+	AdviseNormal Advice = iota
+	// AdviseSequential declares a forward scan over the range: every fault
+	// in it issues a straight-line window of the next pages (clamped to
+	// the range end), bypassing the predictor's own candidates.
+	AdviseSequential
+	// AdviseRandom declares random access over the range: faults in it
+	// issue no prefetches at all — no window can help, so none pollutes.
+	AdviseRandom
+	// AdviseWillNeed warms the range immediately: its pages are prefetched
+	// now through the normal deduplicated prefetch path (resident, cached,
+	// in-flight, sealed and in-demand pages are skipped, so read-your-
+	// writes is never at risk), with real bytes fetched underneath.
+	AdviseWillNeed
+)
+
+// Advise declares this client's access pattern for pages [start,
+// start+pages) — the runtime counterpart of madvise(2), grounded in 3PO's
+// programmed-hints line. Range hints (Sequential, Random, Normal) are
+// sticky: they steer candidate generation on every later fault by this
+// client in the range, with the newest declaration winning on overlap.
+// AdviseWillNeed acts once, immediately. Hints steer prefetch issue only —
+// the predictor still observes every access, and no hint can bypass the
+// fault path's correctness machinery. Safe for concurrent use.
+func (c *Client) Advise(a Advice, start core.PageID, pages int) error {
+	m := c.m
+	if err := m.loadErr(); err != nil {
+		return err
+	}
+	if start < 0 {
+		return fmt.Errorf("leap: negative advise start page %d", start)
+	}
+	if pages <= 0 {
+		return fmt.Errorf("leap: advise over %d pages, need > 0", pages)
+	}
+	end := start + core.PageID(pages)
+	switch a {
+	case AdviseWillNeed:
+		var buf []core.PageID
+		for _, s := range m.shards {
+			buf = buf[:0]
+			for pg := start; pg < end; pg++ {
+				if m.shardFor(pg) == s {
+					buf = append(buf, pg)
+				}
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			s.mu.Lock()
+			now := m.clock.Now()
+			s.eng.FlushArrivals(now)
+			s.eng.Prefetch(s, s.res, 0, buf, now)
+			s.mu.Unlock()
+		}
+		return m.loadErr()
+	case AdviseNormal, AdviseSequential, AdviseRandom:
+		r := hintRange{start: start, end: end, advice: a}
+		for _, s := range m.shards {
+			s.mu.Lock()
+			if s.hints == nil {
+				s.hints = make(map[prefetch.PID][]hintRange)
+			}
+			s.hints[c.pid] = append(s.hints[c.pid], r)
+			s.mu.Unlock()
+		}
+		return nil
+	default:
+		return fmt.Errorf("leap: unknown advice %d", a)
+	}
+}
+
+// SelectionEvent is one entry of a client's ensemble selection history: on
+// stripe Shard, Arm took over at the client's Fault-th miss there (Fault 0
+// is the initial selection).
+type SelectionEvent struct {
+	// Shard is the stripe whose selector recorded the event.
+	Shard int
+	// Fault is the client's cumulative miss count on that stripe when the
+	// arm took over.
+	Fault int64
+	// Arm is the selected prefetcher's registered name.
+	Arm string
+}
+
+// SelectionHistory reports this client's per-stripe ensemble selection
+// history — the initial arm plus every hysteresis-approved switch, in
+// stripe order then fault order. Nil without WithEnsemble, or before the
+// client's first fault. Safe to call concurrently with operations.
+func (c *Client) SelectionHistory() []SelectionEvent {
+	var out []SelectionEvent
+	for _, s := range c.m.shards {
+		if s.ens == nil {
+			return nil
+		}
+		s.mu.Lock()
+		h := s.ens.History(c.pid)
+		s.mu.Unlock()
+		for _, ev := range h {
+			out = append(out, SelectionEvent{Shard: s.idx, Fault: ev.Fault, Arm: ev.Arm})
+		}
+	}
+	return out
 }

@@ -132,6 +132,8 @@ const DefaultConcurrency = 8
 // memOptions collects Open's functional options.
 type memOptions struct {
 	pf         prefetch.Prefetcher
+	pfFactory  func() prefetch.Prefetcher
+	ensCfg     *prefetch.EnsembleConfig
 	host       *remote.Host
 	capacity   int
 	queueDepth int
@@ -157,9 +159,33 @@ type Option func(*memOptions)
 // (default: the Leap majority-trend predictor). Build baselines with
 // NewPrefetcher("readahead"), NewPrefetcher("none"), etc. A supplied
 // prefetcher is a single instance and cannot be split across stripes:
-// incompatible with WithShards beyond 1 (each stripe builds its own Leap
-// predictor there).
+// incompatible with WithShards beyond 1 — use WithPrefetcherFactory there,
+// which builds one instance per stripe.
 func WithPrefetcher(p prefetch.Prefetcher) Option { return func(o *memOptions) { o.pf = p } }
+
+// WithPrefetcherFactory selects the prefetching policy by factory: every
+// PageID stripe calls f once and owns the returned instance under its own
+// lock, so any policy — not just the default Leap — runs sharded. The
+// factory must return independent instances (stripe state is never shared).
+// Mutually exclusive with WithPrefetcher and WithEnsemble. At WithShards(1)
+// it is equivalent to WithPrefetcher(f()).
+func WithPrefetcherFactory(f func() prefetch.Prefetcher) Option {
+	return func(o *memOptions) { o.pfFactory = f }
+}
+
+// WithEnsemble replaces the fixed prefetching policy with the online
+// per-client selector (prefetch.Ensemble): each client's arms — private
+// instances of the configured prefetchers — shadow-score the client's
+// fault stream, and live prefetch decisions route to the current winner
+// with hysteresis. Deterministic given the seed: selection is a pure
+// function of the access stream. Each stripe owns an independent selector
+// (per-stripe fault streams, like every predictor here); Stats.Ensemble
+// aggregates them and Client.SelectionHistory exposes per-client switches.
+// Mutually exclusive with WithPrefetcher and WithPrefetcherFactory. The
+// zero EnsembleConfig takes the documented defaults.
+func WithEnsemble(cfg prefetch.EnsembleConfig) Option {
+	return func(o *memOptions) { o.ensCfg = &cfg }
+}
 
 // WithRemoteHost runs the Memory over an existing host — typically one
 // dialed to TCP agents (cmd/leapagent). The caller keeps ownership: Close
@@ -290,8 +316,14 @@ func Open(opts ...Option) (*Memory, error) {
 	for nshards < o.shards {
 		nshards <<= 1
 	}
+	if o.pf != nil && o.pfFactory != nil {
+		return nil, fmt.Errorf("leap: WithPrefetcher and WithPrefetcherFactory are mutually exclusive; keep the factory")
+	}
+	if o.ensCfg != nil && (o.pf != nil || o.pfFactory != nil) {
+		return nil, fmt.Errorf("leap: WithEnsemble supplies its own per-stripe selector and is mutually exclusive with WithPrefetcher/WithPrefetcherFactory")
+	}
 	if o.pf != nil && nshards > 1 {
-		return nil, fmt.Errorf("leap: WithPrefetcher supplies a single prefetcher instance and cannot be split across %d shards; use WithShards(1) or let each stripe build its own Leap predictor", nshards)
+		return nil, fmt.Errorf("leap: WithPrefetcher supplies a single prefetcher instance and cannot be split across %d shards; use WithPrefetcherFactory to build one instance per stripe (or WithShards(1))", nshards)
 	}
 	if o.capacity < nshards {
 		return nil, fmt.Errorf("leap: cache capacity %d pages < %d shards, need at least one page per shard", o.capacity, nshards)
@@ -348,9 +380,32 @@ func Open(opts ...Option) (*Memory, error) {
 			h.SetTimeSource(m.clock.Now)
 		}
 	}
+	// Resolve one prefetcher per stripe up front, so factory and ensemble
+	// misconfigurations surface as Open errors rather than mid-fault.
+	pfs := make([]prefetch.Prefetcher, nshards)
+	for i := range pfs {
+		switch {
+		case o.ensCfg != nil:
+			en, err := prefetch.NewEnsemble(*o.ensCfg)
+			if err != nil {
+				return nil, fmt.Errorf("leap: WithEnsemble: %w", err)
+			}
+			pfs[i] = en
+		case o.pfFactory != nil:
+			p := o.pfFactory()
+			if p == nil {
+				return nil, fmt.Errorf("leap: WithPrefetcherFactory returned nil for stripe %d", i)
+			}
+			pfs[i] = p
+		case o.pf != nil:
+			pfs[i] = o.pf
+		default:
+			pfs[i] = prefetch.NewLeap(core.Config{})
+		}
+	}
 	m.shards = make([]*shard, nshards)
 	for i := range m.shards {
-		m.shards[i] = m.newShard(i, nshards, &o)
+		m.shards[i] = m.newShard(i, nshards, &o, pfs[i])
 	}
 	if o.planeCfg != nil {
 		m.attachPlane(*o.planeCfg, o.planeEvery)
@@ -359,10 +414,13 @@ func Open(opts ...Option) (*Memory, error) {
 }
 
 // newShard builds stripe idx of nshards: its own engine (latency models
-// seeded per stripe, stripe 0 keeping the user seed), predictor, cache,
-// residency budget and frame pool. The global capacity is striped
-// statically — capacity/nshards pages each, remainder to the low stripes.
-func (m *Memory) newShard(idx, nshards int, o *memOptions) *shard {
+// seeded per stripe, stripe 0 keeping the user seed), the stripe's
+// prefetcher pf (resolved by Open — default Leap, a shared WithPrefetcher
+// instance at one stripe, one factory-built instance per stripe, or an
+// ensemble selector), cache, residency budget and frame pool. The global
+// capacity is striped statically — capacity/nshards pages each, remainder
+// to the low stripes.
+func (m *Memory) newShard(idx, nshards int, o *memOptions, pf prefetch.Prefetcher) *shard {
 	capacity := o.capacity / nshards
 	if idx < o.capacity%nshards {
 		capacity++
@@ -375,10 +433,7 @@ func (m *Memory) newShard(idx, nshards int, o *memOptions) *shard {
 		faulting: pagemap.New[struct{}](0),
 		demand:   pagemap.New[*demandFetch](0),
 	}
-	pf := o.pf
-	if pf == nil {
-		pf = prefetch.NewLeap(core.Config{})
-	}
+	s.ens, _ = pf.(*prefetch.Ensemble)
 	// The full Leap stack of §4: lean data path, eager cache eviction, and
 	// (unless overridden) majority-trend prefetching — the same
 	// configuration Simulate's SystemDVMMLeap preset builds, so a Memory
@@ -701,6 +756,28 @@ type Stats struct {
 	// Ztier is the compressed victim tier's accounting (zero-valued
 	// without WithCompressedTier).
 	Ztier ZtierStats
+	// Ensemble is the online prefetcher selector's accounting (zero-valued
+	// without WithEnsemble).
+	Ensemble EnsembleStats
+}
+
+// EnsembleStats is the online prefetcher selector's accounting, summed
+// across stripes. The zero value (Enabled false) means no selector is
+// attached; every field is a plain comparable scalar, so Stats stays
+// comparable with == (the ZtierStats discipline). Per-client selection
+// detail lives on Client.SelectionHistory.
+type EnsembleStats struct {
+	// Enabled reports whether WithEnsemble attached the selector.
+	Enabled bool
+	// Clients counts (client, stripe) selector states created — a client
+	// faulting on every stripe counts once per stripe.
+	Clients int
+	// Epochs counts selection epochs closed; Switches counts arm changes
+	// taken after hysteresis.
+	Epochs, Switches int64
+	// Regret is the cumulative bandit regret in prefetch hits: per epoch,
+	// the best arm's scored hits beyond the selected arm's.
+	Regret int64
 }
 
 // ZtierStats is the compressed victim tier's accounting, summed across
@@ -765,6 +842,14 @@ func (m *Memory) Stats() Stats {
 			s.Ztier.OverflowWritebacks += zs.OverflowDirty
 			s.Ztier.RawBytes += zs.RawBytes
 			s.Ztier.CompressedBytes += zs.CompressedBytes
+		}
+		if sh.ens != nil {
+			clients, epochs, switches, regret := sh.ens.Totals()
+			s.Ensemble.Enabled = true
+			s.Ensemble.Clients += clients
+			s.Ensemble.Epochs += epochs
+			s.Ensemble.Switches += switches
+			s.Ensemble.Regret += regret
 		}
 		lat.Merge(&sh.eng.FaultLatency)
 		prefetchHits += cs.PrefetchHits - sh.cacheStats0.PrefetchHits

@@ -40,6 +40,18 @@ type shard struct {
 	eng *paging.Engine[*shard]
 	res *paging.Resident
 
+	// ens is this stripe's ensemble selector when WithEnsemble is on — the
+	// same object as eng.Prefetcher(), kept typed for stats and selection-
+	// history reads under mu. Nil otherwise.
+	ens *prefetch.Ensemble
+
+	// hints holds madvise-style access hints per client, newest last (see
+	// Client.Advise). Nil until the first range hint, so unhinted runtimes
+	// pay a single nil check per fault. Every stripe stores the full
+	// ranges: stripe pages interleave, and keeping a full copy under each
+	// stripe's own lock adds no cross-shard lock edges.
+	hints map[prefetch.PID][]hintRange
+
 	// ztier is this stripe's compressed victim tier (nil without
 	// WithCompressedTier): evicted pages with a useful image are sealed
 	// into it instead of paying a remote round trip, and the fault path
@@ -82,6 +94,37 @@ type shard struct {
 	// or compressed-tier overflow). Recording-gated, read under mu.
 	nEvictions  int64
 	nWritebacks int64
+}
+
+// hintRange is one Advise declaration: advice applies to pages
+// [start, end). Later declarations override earlier ones (newest-first
+// resolution in hintFor), so AdviseNormal un-hints a range by shadowing it.
+type hintRange struct {
+	start, end core.PageID
+	advice     Advice
+}
+
+// hintFor resolves the newest hint covering pg for client pid into the
+// engine's per-access hint form. Runs under s.mu on the fault path; the
+// range list is append-only and expected to stay short (an madvise call per
+// region, not per access).
+func (s *shard) hintFor(pid prefetch.PID, pg core.PageID) (paging.Hint, core.PageID) {
+	rs := s.hints[pid]
+	for i := len(rs) - 1; i >= 0; i-- {
+		r := rs[i]
+		if pg < r.start || pg >= r.end {
+			continue
+		}
+		switch r.advice {
+		case AdviseSequential:
+			return paging.HintSequential, r.end
+		case AdviseRandom:
+			return paging.HintRandom, 0
+		}
+		// AdviseNormal: the newest declaration wins — predictor-driven.
+		return paging.HintNone, 0
+	}
+	return paging.HintNone, 0
 }
 
 // shardFor routes a page to its owning stripe. Negative pages land on an
@@ -389,7 +432,12 @@ func (s *shard) page(pid prefetch.PID, pg core.PageID) (*frame, error) {
 	}
 	m.clock.Advance(latency)
 	now = m.clock.Now()
-	s.eng.OnAccess(s, s.res, pid, 0, pg, miss, now)
+	if s.hints == nil {
+		s.eng.OnAccess(s, s.res, pid, 0, pg, miss, now)
+	} else {
+		hint, hintEnd := s.hintFor(pid, pg)
+		s.eng.OnAccessHinted(s, s.res, pid, 0, pg, miss, now, hint, hintEnd)
+	}
 	s.eng.MapIn(s, s.res, 0, pg, now)
 	s.faulting.Delete(pg)
 	f, ok := s.frames.Get(pg)

@@ -24,7 +24,7 @@ func TestMajorityVoteFacade(t *testing.T) {
 
 func TestPrefetcherFacade(t *testing.T) {
 	names := PrefetcherNames()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Fatalf("PrefetcherNames = %v", names)
 	}
 	for _, n := range names {

@@ -2,6 +2,7 @@ package leap
 
 import (
 	"leap/internal/control"
+	"leap/internal/prefetch"
 	"leap/internal/remote"
 	"leap/internal/runtime"
 	"leap/internal/sim"
@@ -56,8 +57,57 @@ func Open(opts ...Option) (*Memory, error) { return runtime.Open(opts...) }
 
 // WithPrefetcher selects the prefetching policy consulted on every fault
 // (default: the Leap majority-trend predictor). Build baselines with
-// NewPrefetcher("readahead"), NewPrefetcher("none"), etc.
+// NewPrefetcher("readahead"), NewPrefetcher("none"), etc. A single shared
+// instance only works on the serialized runtime — with WithShards beyond 1
+// use WithPrefetcherFactory, which builds one instance per stripe.
 func WithPrefetcher(p Prefetcher) Option { return runtime.WithPrefetcher(p) }
+
+// WithPrefetcherFactory selects the prefetching policy by constructor: f is
+// invoked once per fault-path stripe (once total at WithShards(1)), so every
+// stripe owns a private instance and no predictor state is shared across
+// shard locks. This is the sharded-runtime counterpart of WithPrefetcher.
+func WithPrefetcherFactory(f func() Prefetcher) Option { return runtime.WithPrefetcherFactory(f) }
+
+// EnsembleConfig tunes the WithEnsemble selector: the candidate arms (in
+// priority order), the scoring epoch length in misses, the hysteresis
+// margin and streak that debounce switching, the shadow window bounding
+// parked counterfactual predictions, the pollution penalty in the score,
+// and the per-client selection-history cap. The zero value of every field
+// selects its documented default.
+type EnsembleConfig = prefetch.EnsembleConfig
+
+// MemoryEnsembleStats is the Stats.Ensemble block: clients tracked, epochs
+// scored, selection switches taken, and cumulative regret (in prefetch
+// hits) across all stripes.
+type MemoryEnsembleStats = runtime.EnsembleStats
+
+// Advice is an madvise-style access-pattern hint for MemoryClient.Advise:
+// AdviseNormal, AdviseSequential, AdviseRandom declare sticky per-range
+// patterns; AdviseWillNeed warms a range immediately.
+type Advice = runtime.Advice
+
+// Advice values for MemoryClient.Advise, mirroring madvise(2).
+const (
+	AdviseNormal     = runtime.AdviseNormal
+	AdviseSequential = runtime.AdviseSequential
+	AdviseRandom     = runtime.AdviseRandom
+	AdviseWillNeed   = runtime.AdviseWillNeed
+)
+
+// SelectionEvent is one entry of MemoryClient.SelectionHistory: on stripe
+// Shard, Arm took over at the client's Fault-th miss there.
+type SelectionEvent = runtime.SelectionEvent
+
+// WithEnsemble routes every client's prefetching through an online
+// per-client selector over the named arms (default: leap, ghb, stride,
+// readahead, nextnline). All arms observe each client's fault stream; only
+// the current winner's predictions are issued, the rest run as shadows
+// scored against later accesses, and the selection switches when a
+// challenger sustainably out-scores the incumbent (hysteresis + streak).
+// Selection is deterministic given the seed. Incompatible with
+// WithPrefetcher and WithPrefetcherFactory; read the accounting from
+// Stats.Ensemble and MemoryClient.SelectionHistory.
+func WithEnsemble(cfg EnsembleConfig) Option { return runtime.WithEnsemble(cfg) }
 
 // WithRemoteHost runs the Memory over an existing host — typically one
 // dialed to TCP agents (cmd/leapagent). The caller keeps ownership: Close

@@ -22,8 +22,8 @@ BASE_REF="${BENCH_AB_BASE:-HEAD~1}"
 BENCHTIME="${BENCH_AB_TIME:-1s}"
 COUNT="${BENCH_AB_COUNT:-3}"
 # The gated hot paths only — figure drivers are too noisy to A/B.
-PATTERN='BenchmarkSimulatorThroughput|BenchmarkPredictorFaultPath|BenchmarkMemoryGetHit|BenchmarkMemoryConcurrentGet|BenchmarkMemoryGetZtierHit'
-HEADLINE='BenchmarkSimulatorThroughput,BenchmarkPredictorFaultPath,BenchmarkMemoryGetHit,BenchmarkMemoryConcurrentGet,BenchmarkMemoryGetHitParallel/procs=8,BenchmarkMemoryGetZtierHit'
+PATTERN='BenchmarkSimulatorThroughput|BenchmarkPredictorFaultPath|BenchmarkMemoryGetHit|BenchmarkMemoryConcurrentGet|BenchmarkMemoryGetZtierHit|BenchmarkMemoryEnsembleGetHit'
+HEADLINE='BenchmarkSimulatorThroughput,BenchmarkPredictorFaultPath,BenchmarkMemoryGetHit,BenchmarkMemoryConcurrentGet,BenchmarkMemoryGetHitParallel/procs=8,BenchmarkMemoryGetZtierHit,BenchmarkMemoryEnsembleGetHit'
 
 run_bench() { # $1 = source dir, $2 = output json
   (cd "$1" && go test -run '^$' -benchmem -count "$COUNT" -benchtime "$BENCHTIME" \
@@ -47,4 +47,5 @@ run_bench . "$TMP/head.json"
 python3 scripts/bench_compare.py "$TMP/base.json" "$TMP/head.json" \
   --headline "$HEADLINE" \
   --zero-alloc BenchmarkMemoryGetHit \
-  --zero-alloc BenchmarkMemoryGetZtierHit
+  --zero-alloc BenchmarkMemoryGetZtierHit \
+  --zero-alloc BenchmarkMemoryEnsembleGetHit
